@@ -1,0 +1,62 @@
+// google-benchmark microbenchmarks of the individual SpMV kernels on a
+// fixed FEM-like matrix: per-format, per-shape, scalar vs SIMD. These are
+// the per-kernel numbers behind the t_b profile.
+#include <benchmark/benchmark.h>
+
+#include "src/core/executor.hpp"
+#include "src/gen/generators.hpp"
+#include "src/util/prng.hpp"
+
+namespace bspmv {
+namespace {
+
+// One shared mid-size matrix (L2-resident-ish) so the microbenches finish
+// quickly while still exercising real block structure.
+const Csr<double>& shared_matrix() {
+  static const Csr<double> a = Csr<double>::from_coo(
+      gen_blocked_band<double>(8000, 3, 600, 5, 0.8, 0xbeef));
+  return a;
+}
+
+void run_candidate(benchmark::State& state, const Candidate& c) {
+  const Csr<double>& a = shared_matrix();
+  const AnyFormat<double> f = AnyFormat<double>::convert(a, c);
+  aligned_vector<double> x(static_cast<std::size_t>(a.cols()));
+  Xoshiro256 rng(3);
+  for (auto& e : x) e = rng.uniform() - 0.5;
+  aligned_vector<double> y(static_cast<std::size_t>(a.rows()), 0.0);
+
+  for (auto _ : state) {
+    f.run(x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(a.nnz()) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+  state.counters["ws_MiB"] =
+      static_cast<double>(f.working_set_bytes()) / (1024.0 * 1024.0);
+}
+
+void register_all() {
+  for (const Candidate& c : bench_candidates(true, true)) {
+    benchmark::RegisterBenchmark(c.id().c_str(),
+                                 [c](benchmark::State& s) {
+                                   run_candidate(s, c);
+                                 })
+        ->Unit(benchmark::kMicrosecond)
+        ->MinTime(0.05);
+  }
+}
+
+}  // namespace
+}  // namespace bspmv
+
+int main(int argc, char** argv) {
+  bspmv::register_all();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces Table I: the matrix suite — id, substituted matrix name,
+// domain, rows, nonzeros and the CSR working set in MiB (double
+// precision), for the chosen suite scale.
+#include <cstdio>
+
+#include "bench/harness.hpp"
+
+using namespace bspmv;
+using namespace bspmv::bench;
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  add_common_flags(cli);
+  if (!cli.parse(argc, argv)) return 0;
+  const auto cfg_opt = parse_common(cli);
+  if (!cfg_opt) return 0;
+  const BenchConfig& cfg = *cfg_opt;
+
+  std::printf("Table I: matrix suite (scale=%s; synthetic substitutes for "
+              "the UF matrices, see DESIGN.md)\n",
+              suite_scale_name(cfg.scale));
+  print_rule(86);
+  std::printf("%-3s %-16s %-12s %12s %14s %12s %8s\n", "id", "matrix",
+              "domain", "# rows", "# nonzeros", "ws (MiB)", "nnz/row");
+  print_rule(86);
+
+  double total_ws = 0.0;
+  const auto ids = cfg.matrix_ids.empty()
+                       ? [] {
+                           std::vector<int> v;
+                           for (int i = 1; i <= 30; ++i) v.push_back(i);
+                           return v;
+                         }()
+                       : cfg.matrix_ids;
+  for (int id : ids) {
+    const SuiteMatrixInfo& info = suite_catalog()[static_cast<size_t>(id - 1)];
+    const Csr<double> a = build_suite_csr<double>(id, cfg.scale);
+    const double ws_mib =
+        static_cast<double>(a.working_set_bytes()) / (1024.0 * 1024.0);
+    total_ws += ws_mib;
+    std::printf("%-3d %-16s %-12s %12d %14zu %12.2f %8.1f\n", info.id,
+                info.name.c_str(), info.domain.c_str(), a.rows(), a.nnz(),
+                ws_mib,
+                static_cast<double>(a.nnz()) / static_cast<double>(a.rows()));
+  }
+  print_rule(86);
+  std::printf("total CSR working set: %.1f MiB\n", total_ws);
+  return 0;
+}

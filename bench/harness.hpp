@@ -1,0 +1,116 @@
+// Shared infrastructure for the table/figure reproduction benches.
+//
+// Every bench binary accepts the same core flags (--scale, --iters,
+// --matrices, --profile, --cache, ...), shares one machine profile on
+// disk, and — critically — shares a *sweep cache*: measuring all ~107
+// candidates on all 30 matrices is by far the dominant cost, and Tables
+// II/III and Figures 3/4 (plus Table IV) all consume the same sweep, so
+// the first bench to run persists the timings and the rest reuse them.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/executor.hpp"
+#include "src/gen/suite.hpp"
+#include "src/profile/block_profiler.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/json.hpp"
+
+namespace bspmv::bench {
+
+struct BenchConfig {
+  SuiteScale scale = SuiteScale::kSmall;
+  MeasureOptions measure;                 ///< per-candidate timing knobs
+  std::string profile_path = "machine_profile.json";
+  std::string cache_path = "sweep_cache.json";
+  std::vector<int> matrix_ids;            ///< suite ids to run
+  bool no_cache = false;
+  bool verbose = false;
+};
+
+/// Install the shared bench flags on a CliParser.
+void add_common_flags(CliParser& cli);
+
+/// Parse argv into a BenchConfig (flags must have been installed with
+/// add_common_flags; binaries may add their own flags first). Returns
+/// nullopt if --help was requested.
+std::optional<BenchConfig> parse_common(const CliParser& cli);
+
+/// Load the shared machine profile, profiling (and saving) on first use.
+MachineProfile get_machine_profile(const BenchConfig& cfg);
+
+/// Human-readable format labels matching the paper's tables.
+const char* format_label(FormatKind kind);
+
+// ----------------------------------------------------------------------
+// Sweep cache
+// ----------------------------------------------------------------------
+
+/// Persistent map from measurement key to seconds. Keys embed everything
+/// that affects the number: suite scale, matrix id, precision, candidate
+/// id, thread count, and the iteration count.
+class SweepCache {
+ public:
+  SweepCache(std::string path, bool disabled);
+  ~SweepCache();  // saves on destruction (best effort)
+
+  std::optional<double> get(const std::string& key) const;
+  void put(const std::string& key, double seconds);
+  void save();
+
+ private:
+  std::string path_;
+  bool disabled_;
+  bool dirty_ = false;
+  std::map<std::string, double> entries_;
+};
+
+/// Canonical cache key for a single-threaded candidate measurement.
+std::string sweep_key(const BenchConfig& cfg, int matrix_id, Precision prec,
+                      const std::string& candidate_id, int threads = 1);
+
+/// Measure (or load from cache) every candidate on one suite matrix.
+/// Returns candidate id -> seconds per SpMV.
+template <class V>
+std::map<std::string, double> sweep_matrix(
+    const Csr<V>& a, int matrix_id, const std::vector<Candidate>& candidates,
+    const BenchConfig& cfg, SweepCache& cache);
+
+/// Threaded variant (CSR/BCSR/BCSD/DEC candidates only): measures every
+/// requested thread count per candidate with a single format conversion.
+/// Returns threads -> (candidate id -> seconds).
+template <class V>
+std::map<int, std::map<std::string, double>> sweep_matrix_threaded(
+    const Csr<V>& a, int matrix_id, const std::vector<Candidate>& candidates,
+    const std::vector<int>& threads, const BenchConfig& cfg,
+    SweepCache& cache);
+
+// ----------------------------------------------------------------------
+// Small output helpers
+// ----------------------------------------------------------------------
+
+/// Group per-candidate seconds by format kind, keeping the minimum (the
+/// format's best block): the quantity Tables II/III and Fig. 2 rank.
+std::map<FormatKind, double> best_per_format(
+    const std::vector<Candidate>& candidates,
+    const std::map<std::string, double>& seconds);
+
+/// Print a horizontal rule of width n.
+void print_rule(int n);
+
+#define BSPMV_BENCH_DECL(V)                                                  \
+  extern template std::map<std::string, double> sweep_matrix(               \
+      const Csr<V>&, int, const std::vector<Candidate>&, const BenchConfig&, \
+      SweepCache&);                                                          \
+  extern template std::map<int, std::map<std::string, double>>            \
+  sweep_matrix_threaded(const Csr<V>&, int, const std::vector<Candidate>&,  \
+                        const std::vector<int>&, const BenchConfig&,        \
+                        SweepCache&);
+BSPMV_BENCH_DECL(float)
+BSPMV_BENCH_DECL(double)
+#undef BSPMV_BENCH_DECL
+
+}  // namespace bspmv::bench

@@ -1,0 +1,146 @@
+// Conjugate Gradient solver on an autotuned blocked matrix — the workload
+// the paper's introduction motivates: SpMV dominating an iterative
+// solver's runtime. Builds an SPD 2-D Poisson system, lets the OVERLAP
+// model pick the storage format, and compares CG wall time against plain
+// CSR.
+//
+//   $ ./autotune_cg [--grid 400] [--tol 1e-8]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "src/core/executor.hpp"
+#include "src/core/selector.hpp"
+#include "src/profile/block_profiler.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/timing.hpp"
+
+using namespace bspmv;
+
+namespace {
+
+// SPD 2-D 5-point Poisson operator (diagonal 4, neighbours -1) with 2x2
+// dof blocks injected so blocking has something to find.
+Csr<double> poisson2d_blocked(index_t g) {
+  const index_t n = g * g * 2;  // 2 dof per grid point
+  Coo<double> coo(n, n);
+  auto idx = [g](index_t x, index_t y, int d) {
+    return (y * g + x) * 2 + d;
+  };
+  for (index_t y = 0; y < g; ++y) {
+    for (index_t x = 0; x < g; ++x) {
+      for (int d = 0; d < 2; ++d) {
+        const index_t i = idx(x, y, d);
+        coo.add(i, i, 8.0);
+        coo.add(i, idx(x, y, 1 - d), 1.0);  // dof coupling -> dense 2x2
+        if (x > 0) coo.add(i, idx(x - 1, y, d), -1.0);
+        if (x + 1 < g) coo.add(i, idx(x + 1, y, d), -1.0);
+        if (y > 0) coo.add(i, idx(x, y - 1, d), -1.0);
+        if (y + 1 < g) coo.add(i, idx(x, y + 1, d), -1.0);
+      }
+    }
+  }
+  return Csr<double>::from_coo(std::move(coo));
+}
+
+struct CgResult {
+  int iterations = 0;
+  double residual = 0.0;
+  double seconds = 0.0;
+};
+
+// Plain CG; the matrix is abstracted behind a y = A·x functor.
+template <class SpmvFn>
+CgResult conjugate_gradient(index_t n, SpmvFn&& apply, const double* b,
+                            double* x, double tol, int max_iters) {
+  aligned_vector<double> r(static_cast<std::size_t>(n));
+  aligned_vector<double> p(static_cast<std::size_t>(n));
+  aligned_vector<double> ap(static_cast<std::size_t>(n));
+  std::fill(x, x + n, 0.0);
+  std::copy(b, b + n, r.begin());  // r = b - A*0
+  std::copy(r.begin(), r.end(), p.begin());
+
+  auto dot = [n](const double* u, const double* v) {
+    double s = 0.0;
+    for (index_t i = 0; i < n; ++i) s += u[i] * v[i];
+    return s;
+  };
+
+  double rr = dot(r.data(), r.data());
+  const double stop = tol * tol * rr;
+  CgResult res;
+  Timer timer;
+  for (res.iterations = 0; res.iterations < max_iters; ++res.iterations) {
+    if (rr <= stop) break;
+    apply(p.data(), ap.data());
+    const double alpha = rr / dot(p.data(), ap.data());
+    for (index_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[static_cast<std::size_t>(i)] -= alpha * ap[static_cast<std::size_t>(i)];
+    }
+    const double rr_new = dot(r.data(), r.data());
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    for (index_t i = 0; i < n; ++i)
+      p[static_cast<std::size_t>(i)] =
+          r[static_cast<std::size_t>(i)] + beta * p[static_cast<std::size_t>(i)];
+  }
+  res.seconds = timer.elapsed();
+  res.residual = std::sqrt(rr);
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("grid", "300", "grid dimension g (matrix is 2g^2 x 2g^2)");
+  cli.add_option("tol", "1e-8", "relative residual tolerance");
+  cli.add_option("max-iters", "2000", "CG iteration cap");
+  cli.add_option("profile", "machine_profile.json", "machine profile path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto g = static_cast<index_t>(cli.get_int("grid"));
+  const double tol = cli.get_double("tol");
+  const int max_iters = static_cast<int>(cli.get_int("max-iters"));
+
+  std::printf("building 2-D Poisson system, grid %dx%d (n = %d)...\n", g, g,
+              2 * g * g);
+  const Csr<double> a = poisson2d_blocked(g);
+  std::printf("nnz = %zu, CSR ws = %.1f MiB\n", a.nnz(),
+              static_cast<double>(a.working_set_bytes()) / (1 << 20));
+
+  ProfileOptions popt;
+  popt.quick = true;
+  const MachineProfile profile =
+      load_or_profile(cli.get("profile"), popt);
+
+  const RankedCandidate best =
+      select_best(ModelKind::kOverlap, a, profile);
+  std::printf("OVERLAP model selection: %s\n", best.candidate.id().c_str());
+  const AnyFormat<double> tuned = AnyFormat<double>::convert(a, best.candidate);
+
+  aligned_vector<double> b(static_cast<std::size_t>(a.rows()), 1.0);
+  aligned_vector<double> x(static_cast<std::size_t>(a.rows()), 0.0);
+
+  const CgResult plain = conjugate_gradient(
+      a.rows(), [&](const double* in, double* out) { spmv(a, in, out); },
+      b.data(), x.data(), tol, max_iters);
+  std::printf("CSR       : %4d iters, residual %.2e, %7.2f ms\n",
+              plain.iterations, plain.residual, plain.seconds * 1e3);
+
+  const CgResult fast = conjugate_gradient(
+      a.rows(),
+      [&](const double* in, double* out) { tuned.run(in, out); }, b.data(),
+      x.data(), tol, max_iters);
+  std::printf("%-10s: %4d iters, residual %.2e, %7.2f ms (%.2fx)\n",
+              best.candidate.id().c_str(), fast.iterations, fast.residual,
+              fast.seconds * 1e3, plain.seconds / fast.seconds);
+
+  // Same answer either way (CG is deterministic given the operator).
+  std::printf("solution checksum: %.6f\n",
+              std::accumulate(x.begin(), x.end(), 0.0) /
+                  static_cast<double>(a.rows()));
+  return 0;
+}

@@ -1,0 +1,107 @@
+// mtx_tool — command-line analysis of a Matrix Market file (or a suite
+// matrix): structural statistics per blocking format, model predictions,
+// and a recommendation from each performance model. Lets users run the
+// paper's methodology on their own matrices.
+//
+//   $ ./mtx_tool matrix.mtx
+//   $ ./mtx_tool --suite 21 --scale small --measure
+#include <cstdio>
+
+#include "src/core/executor.hpp"
+#include "src/core/heuristic.hpp"
+#include "src/core/reorder.hpp"
+#include "src/core/selector.hpp"
+#include "src/formats/permute.hpp"
+#include "src/formats/stats.hpp"
+#include "src/gen/suite.hpp"
+#include "src/io/matrix_market.hpp"
+#include "src/profile/block_profiler.hpp"
+#include "src/util/cli.hpp"
+
+using namespace bspmv;
+
+int main(int argc, char** argv) {
+  CliParser cli;
+  cli.add_option("suite", "0", "use suite matrix id 1..30 instead of a file");
+  cli.add_option("scale", "small", "suite scale (with --suite)");
+  cli.add_option("profile", "machine_profile.json", "machine profile path");
+  cli.add_option("top", "8", "how many ranked candidates to print");
+  cli.add_flag("measure", "also measure the top candidates' real time");
+  cli.add_flag("reorder", "apply the similarity row reordering first");
+  if (!cli.parse(argc, argv)) return 0;
+
+  Csr<double> a;
+  std::string name;
+  const int suite_id = static_cast<int>(cli.get_int("suite"));
+  if (suite_id > 0) {
+    a = build_suite_csr<double>(suite_id, parse_suite_scale(cli.get("scale")));
+    name = suite_catalog()[static_cast<size_t>(suite_id - 1)].name;
+  } else if (!cli.positional().empty()) {
+    name = cli.positional().front();
+    std::printf("reading %s...\n", name.c_str());
+    a = Csr<double>::from_coo(read_matrix_market<double>(name));
+  } else {
+    std::fprintf(stderr,
+                 "usage: mtx_tool <file.mtx> | --suite <id> [--measure]\n");
+    return 1;
+  }
+
+  std::printf("matrix %s: %d x %d, %zu nonzeros, %.1f nnz/row, CSR ws %.2f "
+              "MiB\n",
+              name.c_str(), a.rows(), a.cols(), a.nnz(),
+              static_cast<double>(a.nnz()) / static_cast<double>(a.rows()),
+              static_cast<double>(a.working_set_bytes()) / (1 << 20));
+
+  if (cli.get_flag("reorder")) {
+    const double fill_before = bcsr_stats(a, BlockShape{3, 3}).fill();
+    a = permute_rows(a, similarity_reorder(a));
+    std::printf("applied similarity row reordering: 3x3 fill %.3f -> %.3f\n",
+                fill_before, bcsr_stats(a, BlockShape{3, 3}).fill());
+  }
+
+  // Structural scan: fill ratio per BCSR shape, BCSD size, and 1D-VBL.
+  std::printf("\nblock fill ratios (stored nonzeros / stored values):\n");
+  std::printf("  %-8s", "BCSR:");
+  for (BlockShape s : bcsr_shapes())
+    std::printf(" %s=%.2f", s.to_string().c_str(), bcsr_stats(a, s).fill());
+  std::printf("\n  %-8s", "BCSD:");
+  for (int b : bcsd_sizes())
+    std::printf(" b%d=%.2f", b, bcsd_stats(a, b).fill());
+  std::printf("\n  1D-VBL: %.1f elements/block average\n",
+              static_cast<double>(a.nnz()) /
+                  static_cast<double>(vbl_block_count(a)));
+
+  ProfileOptions popt;
+  popt.quick = true;
+  const MachineProfile profile = load_or_profile(cli.get("profile"), popt);
+
+  std::printf("\nmodel selections:\n");
+  for (ModelKind m : {ModelKind::kMem, ModelKind::kMemComp,
+                      ModelKind::kOverlap, ModelKind::kMemLat}) {
+    const RankedCandidate best = select_best(m, a, profile);
+    std::printf("  %-8s -> %-22s (predicted %.3f ms)\n", model_name(m),
+                best.candidate.id().c_str(), best.predicted_seconds * 1e3);
+  }
+  const HeuristicSelection h = select_bcsr_heuristic(a, profile);
+  std::printf("  %-8s -> %-22s (predicted %.3f ms, est. fill %.2f)\n",
+              "oski", h.candidate.id().c_str(), h.predicted_seconds * 1e3,
+              h.est_fill);
+
+  const auto ranked = rank_candidates(ModelKind::kOverlap, a, profile);
+  const auto top = static_cast<std::size_t>(cli.get_int("top"));
+  std::printf("\ntop %zu candidates by the OVERLAP model:\n", top);
+  MeasureOptions mopt;
+  mopt.iterations = 10;
+  for (std::size_t i = 0; i < std::min(top, ranked.size()); ++i) {
+    std::printf("  %2zu. %-22s predicted %.3f ms", i + 1,
+                ranked[i].candidate.id().c_str(),
+                ranked[i].predicted_seconds * 1e3);
+    if (cli.get_flag("measure")) {
+      const AnyFormat<double> f =
+          AnyFormat<double>::convert(a, ranked[i].candidate);
+      std::printf("  measured %.3f ms", measure_spmv_seconds(f, mopt) * 1e3);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full reproduction run: the complete test suite followed by every bench
+# binary (one per paper table/figure plus ablations). Outputs are recorded
+# to test_output.txt and bench_output.txt at the repository root.
+set -u
+cd "$(dirname "$0")/.."
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    # skip CMake droppings and the static helper library
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    case "$b" in *.cmake|*.a) continue ;; esac
+    echo "===== $b ====="
+    case "$b" in
+      *bench_fig2_multicore_wins)
+        # The threaded sweep converts every candidate per matrix and
+        # cannot share the single-threaded cache; tiny scale keeps the
+        # full 28-matrix x {1,2,4}-thread x {sp,dp} sweep tractable on
+        # one core (the wins distribution is structural).
+        "$b" --scale tiny ;;
+      *)
+        "$b" ;;
+    esac
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "run_all: complete"

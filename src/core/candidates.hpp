@@ -1,0 +1,66 @@
+// Candidate space: every (storage format, block shape/size, kernel
+// implementation) combination the paper evaluates and the models rank.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/formats/block_shapes.hpp"
+#include "src/kernels/spmv.hpp"
+
+namespace bspmv {
+
+enum class FormatKind {
+  kCsr,
+  kBcsr,
+  kBcsrDec,
+  kBcsd,
+  kBcsdDec,
+  kVbl,
+  kVbr,
+  kUbcsr,     ///< extension: unaligned BCSR (Vuduc & Moon [17])
+  kCsrDelta,  ///< extension: delta-compressed CSR (Kourtis et al. [10])
+};
+
+const char* format_name(FormatKind kind);
+
+/// One point in the tuning space.
+struct Candidate {
+  FormatKind kind = FormatKind::kCsr;
+  BlockShape shape{1, 1};  ///< BCSR / BCSR-DEC block shape
+  int b = 0;               ///< BCSD / BCSD-DEC diagonal length
+  Impl impl = Impl::kScalar;
+
+  /// Unique id, e.g. "bcsr_dec_3x2_simd", "csr_scalar", "bcsd_4_scalar".
+  std::string id() const;
+
+  /// Identity of the block kernel this candidate's *blocked* part runs —
+  /// decomposed formats share it with their padded counterpart (same
+  /// inner routine), so profiled t_b / nof values are shared too.
+  /// e.g. both bcsr_3x2 and bcsr_dec_3x2 -> "bcsr_3x2_simd".
+  std::string kernel_id() const;
+
+  friend bool operator==(const Candidate&, const Candidate&) = default;
+};
+
+/// The candidates the performance models rank (§IV): CSR as degenerate
+/// 1×1 blocking plus every fixed-size blocking method and block; variable
+/// size blocking (VBL/VBR) is excluded, as in the paper.
+std::vector<Candidate> model_candidates(bool include_simd = true);
+
+/// The formats benchmarked in §V-A — adds 1D-VBL (scalar only when
+/// include_simd is false; the paper ran no simd 1D-VBL either way, see
+/// Table II) and optionally the VBR extension.
+std::vector<Candidate> bench_candidates(bool include_simd = true,
+                                        bool include_vbr = false);
+
+/// Kernel profile key for the CSR kernel used by decomposed remainders.
+std::string csr_kernel_id(Impl impl);
+
+/// Extension formats beyond the paper's evaluation: UBCSR at every shape
+/// and delta-compressed CSR. They participate in profiling and can be
+/// ranked by the models once profiled, but are excluded from the paper's
+/// candidate sets so the reproduction benches match Tables II-IV.
+std::vector<Candidate> extension_candidates(bool include_simd = true);
+
+}  // namespace bspmv

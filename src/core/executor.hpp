@@ -1,0 +1,94 @@
+// Candidate materialisation and empirical measurement.
+//
+// AnyFormat converts a CSR matrix into any candidate's storage format and
+// runs its kernel; the measure_* helpers time candidates the way the
+// paper does (repeated consecutive SpMV operations on random input
+// vectors) to produce the "real execution time" that Figs. 3/4 and
+// Tables II–IV compare against.
+#pragma once
+
+#include <variant>
+#include <vector>
+
+#include "src/core/candidates.hpp"
+#include "src/parallel/parallel_spmv.hpp"
+#include "src/util/timing.hpp"
+
+namespace bspmv {
+
+template <class V>
+class AnyFormat {
+ public:
+  /// Convert `a` into the candidate's format (throws for unsupported
+  /// combinations, e.g. simd VBR is fine but simd VBL never enumerated).
+  static AnyFormat convert(const Csr<V>& a, const Candidate& c);
+
+  const Candidate& candidate() const { return c_; }
+  index_t rows() const;
+  index_t cols() const;
+  std::size_t working_set_bytes() const;
+
+  /// y = A·x with the candidate's kernel implementation.
+  void run(const V* x, V* y) const;
+
+ private:
+  Candidate c_;
+  std::variant<std::monostate, Csr<V>, Bcsr<V>, Bcsd<V>, Vbl<V>, Vbr<V>,
+               BcsrDec<V>, BcsdDec<V>, Ubcsr<V>, CsrDelta<V>>
+      m_;
+};
+
+struct MeasureOptions {
+  int iterations = 20;  ///< SpMVs per timed batch (paper used 100)
+  int reps = 2;         ///< batches; the minimum is reported
+  int warmup = 1;       ///< unmeasured batches
+  std::uint64_t seed = 1234;  ///< input-vector RNG seed
+};
+
+/// Seconds per SpMV for one materialised candidate.
+template <class V>
+double measure_spmv_seconds(const AnyFormat<V>& f, const MeasureOptions& opt);
+
+struct MeasuredCandidate {
+  Candidate candidate;
+  double seconds = 0.0;
+};
+
+/// Convert + measure every candidate (formats are dropped after timing so
+/// peak memory stays ~2× the matrix).
+template <class V>
+std::vector<MeasuredCandidate> measure_candidates(
+    const Csr<V>& a, const std::vector<Candidate>& candidates,
+    const MeasureOptions& opt = {});
+
+/// Multithreaded real time (only CSR/BCSR/BCSD and the decomposed
+/// variants, matching §V-A).
+template <class V>
+double measure_threaded_seconds(const Csr<V>& a, const Candidate& c,
+                                int threads, const MeasureOptions& opt = {});
+
+/// Measure one candidate at several thread counts, converting the matrix
+/// once (conversion dominates a sweep; Fig. 2 measures 1/2/4 cores).
+/// Returns seconds per SpMV in the same order as `threads`.
+template <class V>
+std::vector<double> measure_threaded_multi(const Csr<V>& a,
+                                           const Candidate& c,
+                                           const std::vector<int>& threads,
+                                           const MeasureOptions& opt = {});
+
+#define BSPMV_DECL(V)                                                      \
+  extern template class AnyFormat<V>;                                      \
+  extern template double measure_spmv_seconds(const AnyFormat<V>&,         \
+                                              const MeasureOptions&);      \
+  extern template std::vector<MeasuredCandidate> measure_candidates(       \
+      const Csr<V>&, const std::vector<Candidate>&, const MeasureOptions&); \
+  extern template double measure_threaded_seconds(                         \
+      const Csr<V>&, const Candidate&, int, const MeasureOptions&);        \
+  extern template std::vector<double> measure_threaded_multi(              \
+      const Csr<V>&, const Candidate&, const std::vector<int>&,            \
+      const MeasureOptions&);
+BSPMV_DECL(float)
+BSPMV_DECL(double)
+#undef BSPMV_DECL
+
+}  // namespace bspmv

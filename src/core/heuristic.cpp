@@ -1,0 +1,115 @@
+#include "src/core/heuristic.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/macros.hpp"
+#include "src/util/prng.hpp"
+
+namespace bspmv {
+
+template <class V>
+double estimate_bcsr_fill(const Csr<V>& a, BlockShape shape,
+                          double sample_fraction, std::uint64_t seed) {
+  BSPMV_CHECK(shape.r >= 1 && shape.c >= 1);
+  BSPMV_CHECK(sample_fraction > 0.0 && sample_fraction <= 1.0);
+  const index_t n = a.rows();
+  if (n == 0 || a.nnz() == 0) return 1.0;
+  const index_t n_brows = (n + shape.r - 1) / shape.r;
+  const auto sample = std::max<index_t>(
+      1, static_cast<index_t>(sample_fraction * static_cast<double>(n_brows)));
+
+  // Sample distinct block rows (full scan when sampling everything).
+  std::vector<index_t> rows_to_scan;
+  if (sample >= n_brows) {
+    rows_to_scan.resize(static_cast<std::size_t>(n_brows));
+    for (index_t i = 0; i < n_brows; ++i)
+      rows_to_scan[static_cast<std::size_t>(i)] = i;
+  } else {
+    Xoshiro256 rng(seed);
+    rows_to_scan.reserve(static_cast<std::size_t>(sample));
+    for (index_t i = 0; i < sample; ++i)
+      rows_to_scan.push_back(static_cast<index_t>(
+          rng.below(static_cast<std::uint64_t>(n_brows))));
+    std::sort(rows_to_scan.begin(), rows_to_scan.end());
+    rows_to_scan.erase(std::unique(rows_to_scan.begin(), rows_to_scan.end()),
+                       rows_to_scan.end());
+  }
+
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_ind = a.col_ind();
+  std::size_t blocks = 0;
+  std::size_t covered = 0;
+  std::vector<index_t> bcs;
+  for (index_t br : rows_to_scan) {
+    const index_t row_end = std::min<index_t>(n, (br + 1) * shape.r);
+    bcs.clear();
+    for (index_t i = br * shape.r; i < row_end; ++i)
+      for (index_t k = row_ptr[static_cast<std::size_t>(i)];
+           k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+        bcs.push_back(col_ind[static_cast<std::size_t>(k)] / shape.c);
+    covered += bcs.size();
+    std::sort(bcs.begin(), bcs.end());
+    blocks += static_cast<std::size_t>(
+        std::unique(bcs.begin(), bcs.end()) - bcs.begin());
+  }
+  if (covered == 0) return 1.0;  // sampled only empty bands
+  return static_cast<double>(blocks) *
+         static_cast<double>(shape.elems()) / static_cast<double>(covered);
+}
+
+template <class V>
+HeuristicSelection select_bcsr_heuristic(const Csr<V>& a,
+                                         const MachineProfile& profile,
+                                         double sample_fraction,
+                                         bool include_simd,
+                                         std::uint64_t seed) {
+  constexpr Precision prec = precision_of<V>;
+  const double nnz = static_cast<double>(a.nnz());
+  const std::vector<Impl> impls =
+      include_simd ? std::vector<Impl>{Impl::kScalar, Impl::kSimd}
+                   : std::vector<Impl>{Impl::kScalar};
+
+  HeuristicSelection best;
+  // CSR fallback: fill 1, nb = nnz, per-element time = t_b(csr).
+  best.candidate = Candidate{FormatKind::kCsr, BlockShape{1, 1}, 0,
+                             impls.front()};
+  best.predicted_seconds =
+      nnz * profile.kernel(prec, csr_kernel_id(impls.front())).tb;
+  for (Impl impl : impls) {
+    const double t =
+        nnz * profile.kernel(prec, csr_kernel_id(impl)).tb;
+    if (t < best.predicted_seconds) {
+      best.predicted_seconds = t;
+      best.candidate.impl = impl;
+    }
+  }
+
+  for (BlockShape shape : bcsr_shapes()) {
+    const double fill = estimate_bcsr_fill(a, shape, sample_fraction, seed);
+    for (Impl impl : impls) {
+      const Candidate c{FormatKind::kBcsr, shape, 0, impl};
+      // nnz·fill stored values, t_b/(r·c) seconds per stored value.
+      const double t = nnz * fill *
+                       profile.kernel(prec, c.kernel_id()).tb /
+                       static_cast<double>(shape.elems());
+      if (t < best.predicted_seconds) {
+        best.predicted_seconds = t;
+        best.candidate = c;
+        best.est_fill = fill;
+      }
+    }
+  }
+  return best;
+}
+
+#define BSPMV_INST(V)                                              \
+  template double estimate_bcsr_fill(const Csr<V>&, BlockShape,   \
+                                     double, std::uint64_t);      \
+  template HeuristicSelection select_bcsr_heuristic(              \
+      const Csr<V>&, const MachineProfile&, double, bool, std::uint64_t);
+BSPMV_INST(float)
+BSPMV_INST(double)
+#undef BSPMV_INST
+
+}  // namespace bspmv

@@ -1,0 +1,47 @@
+// The SPARSITY/OSKI-style BCSR selection heuristic of Vuduc et al. [16]
+// and Buttari et al. [3], which §IV positions the paper's models against:
+// estimate each shape's fill ratio (stored values / nonzeros, >= 1) by
+// sampling block rows, profile a dense matrix per block kernel, and pick
+// the shape minimising  nnz · fill · t_b/(r·c). Unlike MEM/MEMCOMP/
+// OVERLAP it is "constrained to the BCSR format only".
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/candidates.hpp"
+#include "src/formats/csr.hpp"
+#include "src/profile/machine_profile.hpp"
+
+namespace bspmv {
+
+struct HeuristicSelection {
+  Candidate candidate;           ///< kBcsr with the winning shape, or kCsr
+  double predicted_seconds = 0;  ///< heuristic's time estimate
+  double est_fill = 1.0;         ///< estimated fill of the winning shape
+};
+
+/// Estimate the BCSR fill ratio of `shape` by scanning a `sample_fraction`
+/// of block rows (>= 1 block row; 1.0 = exact). Deterministic per seed.
+template <class V>
+double estimate_bcsr_fill(const Csr<V>& a, BlockShape shape,
+                          double sample_fraction, std::uint64_t seed = 1);
+
+/// Run the heuristic over every BCSR shape (and CSR as the 1×1 fallback),
+/// using the machine profile's dense-profiled block times.
+template <class V>
+HeuristicSelection select_bcsr_heuristic(const Csr<V>& a,
+                                         const MachineProfile& profile,
+                                         double sample_fraction = 0.05,
+                                         bool include_simd = true,
+                                         std::uint64_t seed = 1);
+
+#define BSPMV_DECL(V)                                                     \
+  extern template double estimate_bcsr_fill(const Csr<V>&, BlockShape,   \
+                                            double, std::uint64_t);      \
+  extern template HeuristicSelection select_bcsr_heuristic(              \
+      const Csr<V>&, const MachineProfile&, double, bool, std::uint64_t);
+BSPMV_DECL(float)
+BSPMV_DECL(double)
+#undef BSPMV_DECL
+
+}  // namespace bspmv

@@ -1,0 +1,143 @@
+#include "src/core/models.hpp"
+
+#include <algorithm>
+
+#include "src/util/macros.hpp"
+
+namespace bspmv {
+
+const char* model_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kMem: return "mem";
+    case ModelKind::kMemComp: return "memcomp";
+    case ModelKind::kOverlap: return "overlap";
+    case ModelKind::kMemLat: return "memlat";
+  }
+  return "?";
+}
+
+template <class V>
+IrregularityStats irregularity_stats(const Csr<V>& a) {
+  // Count input-vector cache-line switches within a row that are neither
+  // the same line nor the next sequential line — the access pattern the
+  // stride prefetchers cannot cover (§V-B's latency-bound matrices).
+  constexpr index_t kLineElems =
+      static_cast<index_t>(kCacheLineBytes / sizeof(V));
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_ind = a.col_ind();
+
+  IrregularityStats st;
+  st.x_bytes = static_cast<std::size_t>(a.cols()) * sizeof(V);
+  st.nnz = a.nnz();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    index_t prev_line = -2;
+    for (index_t k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t line = col_ind[static_cast<std::size_t>(k)] / kLineElems;
+      if (line != prev_line && line != prev_line + 1) ++st.irregular_lines;
+      prev_line = line;
+    }
+  }
+  return st;
+}
+
+namespace {
+
+// MEMLAT slowdown per unit of (irregular-access ratio × out-of-cache
+// fraction of x). A deliberately simple constant: MEMLAT is the paper's
+// future-work direction, built as a first-order multiplicative
+// correction — latency exposure grows with both how irregular the access
+// stream is and how much of x cannot stay cache-resident.
+constexpr double kLatencyGamma = 2.0;
+
+double memory_time(const CandidateCost& cost, const MachineProfile& profile) {
+  BSPMV_CHECK_MSG(profile.bandwidth_bps > 0,
+                  "machine profile has no measured bandwidth");
+  return static_cast<double>(cost.total_ws()) / profile.bandwidth_bps;
+}
+
+double compute_time(const CandidateCost& cost, const MachineProfile& profile,
+                    Precision prec, bool apply_nof) {
+  double t = 0.0;
+  for (const CostPart& part : cost.parts) {
+    const KernelProfile& kp = profile.kernel(prec, part.kernel_id);
+    const double factor = apply_nof ? kp.nof : 1.0;
+    t += factor * static_cast<double>(part.nb) * kp.tb;
+  }
+  return t;
+}
+
+}  // namespace
+
+double predict_mem(const CandidateCost& cost, const MachineProfile& profile) {
+  return memory_time(cost, profile);
+}
+
+double predict_memcomp(const CandidateCost& cost,
+                       const MachineProfile& profile, Precision prec) {
+  return memory_time(cost, profile) +
+         compute_time(cost, profile, prec, /*apply_nof=*/false);
+}
+
+double predict_overlap(const CandidateCost& cost,
+                       const MachineProfile& profile, Precision prec) {
+  return memory_time(cost, profile) +
+         compute_time(cost, profile, prec, /*apply_nof=*/true);
+}
+
+double predict(ModelKind model, const CandidateCost& cost,
+               const MachineProfile& profile, Precision prec,
+               const IrregularityStats* irr) {
+  switch (model) {
+    case ModelKind::kMem:
+      return predict_mem(cost, profile);
+    case ModelKind::kMemComp:
+      return predict_memcomp(cost, profile, prec);
+    case ModelKind::kOverlap:
+      return predict_overlap(cost, profile, prec);
+    case ModelKind::kMemLat: {
+      BSPMV_CHECK_MSG(irr != nullptr,
+                      "MEMLAT model needs irregularity statistics");
+      // Irregular accesses cost extra only when x cannot stay resident in
+      // the private cache; the slowdown scales with the fraction of
+      // accesses that are irregular and the fraction of x beyond cache.
+      const double xb = static_cast<double>(irr->x_bytes);
+      const double miss_fraction =
+          xb > profile.private_cache_bytes
+              ? 1.0 - profile.private_cache_bytes / xb
+              : 0.0;
+      const double ratio =
+          irr->nnz == 0 ? 0.0
+                        : static_cast<double>(irr->irregular_lines) /
+                              static_cast<double>(irr->nnz);
+      return predict_overlap(cost, profile, prec) *
+             (1.0 + kLatencyGamma * ratio * miss_fraction);
+    }
+  }
+  BSPMV_CHECK_MSG(false, "unknown model");
+  return 0.0;
+}
+
+double predict_multicore(ModelKind model, const CandidateCost& cost,
+                         const MachineProfile& profile, Precision prec,
+                         int threads) {
+  BSPMV_CHECK(threads >= 1);
+  // Memory streams share the machine bandwidth, computations parallelise.
+  const double t_mem = memory_time(cost, profile);
+  switch (model) {
+    case ModelKind::kMem:
+      return t_mem;
+    case ModelKind::kMemComp:
+      return t_mem + compute_time(cost, profile, prec, false) / threads;
+    case ModelKind::kOverlap:
+    case ModelKind::kMemLat:
+      return t_mem + compute_time(cost, profile, prec, true) / threads;
+  }
+  BSPMV_CHECK_MSG(false, "unknown model");
+  return 0.0;
+}
+
+template IrregularityStats irregularity_stats(const Csr<float>&);
+template IrregularityStats irregularity_stats(const Csr<double>&);
+
+}  // namespace bspmv

@@ -1,0 +1,68 @@
+// The paper's performance models (§IV) plus the future-work extensions.
+//
+//   MEM      (eq. 1): t = ws / BW                       [Gropp et al.]
+//   MEMCOMP  (eq. 2): t = Σ_i ( ws_i/BW + nb_i·t_b_i )
+//   OVERLAP  (eq. 3): t = Σ_i ( ws_i/BW + nof_i·nb_i·t_b_i )
+//
+// Extensions (§VI future work, built here):
+//   MEMLAT: OVERLAP plus a latency term for irregular input-vector
+//           accesses — the failure mode the paper diagnoses on matrices
+//           #12/#14/#15/#28.
+//   predict_multicore: shared-bandwidth multicore adaptation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/working_set.hpp"
+#include "src/profile/machine_profile.hpp"
+
+namespace bspmv {
+
+enum class ModelKind { kMem, kMemComp, kOverlap, kMemLat };
+
+const char* model_name(ModelKind kind);
+
+/// Structural irregularity of the input-vector access stream, the extra
+/// input of the MEMLAT model (computed once per matrix).
+struct IrregularityStats {
+  /// Estimated x-vector cache-line fetches that the stride prefetchers
+  /// cannot cover (non-sequential line jumps within a row).
+  std::size_t irregular_lines = 0;
+  /// Size of the input vector in bytes: an irregular access only pays a
+  /// memory-latency penalty when x does not fit in the private cache, so
+  /// the MEMLAT correction is gated by the fraction of x beyond it.
+  std::size_t x_bytes = 0;
+  /// Total nonzeros (normalises irregular_lines into a per-access ratio).
+  std::size_t nnz = 0;
+};
+
+template <class V>
+IrregularityStats irregularity_stats(const Csr<V>& a);
+
+/// Predicted execution time (seconds per SpMV) of `cost` under `model`.
+/// MEMLAT requires `irr`; the other models ignore it.
+double predict(ModelKind model, const CandidateCost& cost,
+               const MachineProfile& profile, Precision prec,
+               const IrregularityStats* irr = nullptr);
+
+/// Convenience wrappers for the three paper models.
+double predict_mem(const CandidateCost& cost, const MachineProfile& profile);
+double predict_memcomp(const CandidateCost& cost,
+                       const MachineProfile& profile, Precision prec);
+double predict_overlap(const CandidateCost& cost,
+                       const MachineProfile& profile, Precision prec);
+
+/// Multicore extension: computations parallelise across `threads` while
+/// the memory streams share the machine's bandwidth.
+double predict_multicore(ModelKind model, const CandidateCost& cost,
+                         const MachineProfile& profile, Precision prec,
+                         int threads);
+
+#define BSPMV_DECL(V) \
+  extern template IrregularityStats irregularity_stats(const Csr<V>&);
+BSPMV_DECL(float)
+BSPMV_DECL(double)
+#undef BSPMV_DECL
+
+}  // namespace bspmv

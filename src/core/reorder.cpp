@@ -1,0 +1,69 @@
+#include "src/core/reorder.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "src/util/macros.hpp"
+
+namespace bspmv {
+
+template <class V>
+std::vector<index_t> similarity_reorder(const Csr<V>& a,
+                                        const ReorderOptions& opt) {
+  BSPMV_CHECK(opt.block_cols >= 1 && opt.signature_words >= 1 &&
+              opt.signature_words <= 8);
+  const index_t n = a.rows();
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_ind = a.col_ind();
+
+  // Signature: the first `signature_words` distinct column granules
+  // (col / block_cols) of the row, padded with a sentinel. Sorting by the
+  // signature clusters rows that touch the same column neighbourhoods,
+  // which is what makes aligned bands blockable.
+  struct Key {
+    std::array<index_t, 8> sig;
+    index_t nnz;
+    index_t row;
+  };
+  constexpr index_t kSentinel = std::numeric_limits<index_t>::max();
+
+  std::vector<Key> keys(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    Key& key = keys[static_cast<std::size_t>(i)];
+    key.sig.fill(kSentinel);
+    key.row = i;
+    key.nnz = a.row_nnz(i);
+    int w = 0;
+    index_t prev = -1;
+    for (index_t k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1] &&
+         w < opt.signature_words;
+         ++k) {
+      const index_t g = col_ind[static_cast<std::size_t>(k)] / opt.block_cols;
+      if (g != prev) {
+        key.sig[static_cast<std::size_t>(w++)] = g;
+        prev = g;
+      }
+    }
+  }
+
+  std::stable_sort(keys.begin(), keys.end(), [&](const Key& x, const Key& y) {
+    if (x.sig != y.sig) return x.sig < y.sig;
+    return x.nnz != y.nnz ? x.nnz < y.nnz : x.row < y.row;
+  });
+
+  std::vector<index_t> perm;
+  perm.reserve(static_cast<std::size_t>(n));
+  for (const Key& key : keys) perm.push_back(key.row);
+  return perm;
+}
+
+#define BSPMV_INST(V)                   \
+  template std::vector<index_t>         \
+  similarity_reorder(const Csr<V>&, const ReorderOptions&);
+BSPMV_INST(float)
+BSPMV_INST(double)
+#undef BSPMV_INST
+
+}  // namespace bspmv

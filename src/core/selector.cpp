@@ -1,0 +1,52 @@
+#include "src/core/selector.hpp"
+
+#include <algorithm>
+
+#include "src/util/macros.hpp"
+
+namespace bspmv {
+
+template <class V>
+std::vector<RankedCandidate> rank_candidates(ModelKind model, const Csr<V>& a,
+                                             const MachineProfile& profile) {
+  const bool include_simd = model != ModelKind::kMem;
+  const std::vector<Candidate> candidates = model_candidates(include_simd);
+  const std::vector<CandidateCost> costs = all_candidate_costs(a, candidates);
+  constexpr Precision prec = precision_of<V>;
+
+  IrregularityStats irr;
+  if (model == ModelKind::kMemLat) irr = irregularity_stats(a);
+
+  std::vector<RankedCandidate> out;
+  out.reserve(costs.size());
+  for (const CandidateCost& cost : costs)
+    out.push_back(RankedCandidate{
+        cost.candidate, predict(model, cost, profile, prec, &irr)});
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RankedCandidate& x, const RankedCandidate& y) {
+                     if (x.predicted_seconds != y.predicted_seconds)
+                       return x.predicted_seconds < y.predicted_seconds;
+                     return x.candidate.id() < y.candidate.id();
+                   });
+  return out;
+}
+
+template <class V>
+RankedCandidate select_best(ModelKind model, const Csr<V>& a,
+                            const MachineProfile& profile) {
+  const auto ranked = rank_candidates(model, a, profile);
+  BSPMV_CHECK(!ranked.empty());
+  return ranked.front();
+}
+
+#define BSPMV_INST(V)                                           \
+  template std::vector<RankedCandidate> rank_candidates(        \
+      ModelKind, const Csr<V>&, const MachineProfile&);         \
+  template RankedCandidate select_best(ModelKind, const Csr<V>&, \
+                                       const MachineProfile&);
+BSPMV_INST(float)
+BSPMV_INST(double)
+#undef BSPMV_INST
+
+}  // namespace bspmv

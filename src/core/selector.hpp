@@ -1,0 +1,40 @@
+// Model-driven selection of storage format, block and implementation —
+// the "autotuner" built on §IV's models.
+#pragma once
+
+#include <vector>
+
+#include "src/core/models.hpp"
+
+namespace bspmv {
+
+struct RankedCandidate {
+  Candidate candidate;
+  double predicted_seconds = 0.0;
+};
+
+/// Rank every model candidate for matrix `a` under `model`, fastest
+/// predicted first (ties broken deterministically by candidate id).
+///
+/// Per §V-B, the MEM model cannot distinguish kernel implementations (it
+/// ignores the computational part), so it ranks the non-simd candidates
+/// only; MEMCOMP/OVERLAP/MEMLAT also pick between scalar and simd.
+template <class V>
+std::vector<RankedCandidate> rank_candidates(ModelKind model, const Csr<V>& a,
+                                             const MachineProfile& profile);
+
+/// The model's selection: the top-ranked candidate.
+template <class V>
+RankedCandidate select_best(ModelKind model, const Csr<V>& a,
+                            const MachineProfile& profile);
+
+#define BSPMV_DECL(V)                                                  \
+  extern template std::vector<RankedCandidate> rank_candidates(        \
+      ModelKind, const Csr<V>&, const MachineProfile&);                \
+  extern template RankedCandidate select_best(ModelKind, const Csr<V>&, \
+                                              const MachineProfile&);
+BSPMV_DECL(float)
+BSPMV_DECL(double)
+#undef BSPMV_DECL
+
+}  // namespace bspmv

@@ -1,0 +1,47 @@
+// Enumeration of the block shapes studied in the paper.
+//
+// §V: "For the fixed size blocking methods, we used blocks with up to eight
+// elements". For BCSR that is every r×c with r·c ≤ 8 (20 shapes); for BCSD
+// every diagonal length b ∈ {2,…,8}.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace bspmv {
+
+/// A two-dimensional BCSR block shape.
+struct BlockShape {
+  int r = 1;
+  int c = 1;
+
+  int elems() const { return r * c; }
+  std::string to_string() const {
+    return std::to_string(r) + "x" + std::to_string(c);
+  }
+  friend bool operator==(const BlockShape&, const BlockShape&) = default;
+};
+
+inline constexpr int kMaxBlockElems = 8;
+
+/// All BCSR shapes with r·c ≤ kMaxBlockElems, excluding 1×1 (that is CSR).
+inline const std::vector<BlockShape>& bcsr_shapes() {
+  static const std::vector<BlockShape> shapes = [] {
+    std::vector<BlockShape> s;
+    for (int r = 1; r <= kMaxBlockElems; ++r)
+      for (int c = 1; c <= kMaxBlockElems; ++c)
+        if (r * c <= kMaxBlockElems && !(r == 1 && c == 1))
+          s.push_back(BlockShape{r, c});
+    return s;
+  }();
+  return shapes;
+}
+
+/// All BCSD diagonal block sizes b ∈ {2,…,8}.
+inline const std::vector<int>& bcsd_sizes() {
+  static const std::vector<int> sizes = {2, 3, 4, 5, 6, 7, 8};
+  return sizes;
+}
+
+}  // namespace bspmv

@@ -1,0 +1,31 @@
+// Shared typedefs for every sparse storage format.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/aligned.hpp"
+
+namespace bspmv {
+
+/// Index type for all indexing structures. The paper uses four-byte
+/// integers; we match it (and the working-set accounting assumes it).
+using index_t = std::int32_t;
+
+/// 1D-VBL block-size entry type: the paper uses one-byte entries, limiting
+/// blocks to 255 elements (larger blocks are split).
+using blk_size_t = std::uint8_t;
+inline constexpr int kVblMaxBlock = 255;
+
+/// Floating-point precision of a kernel configuration — the paper
+/// evaluates 'sp' (float) and 'dp' (double) throughout.
+enum class Precision { kSingle, kDouble };
+
+inline const char* precision_name(Precision p) {
+  return p == Precision::kSingle ? "sp" : "dp";
+}
+
+template <class V>
+inline constexpr Precision precision_of =
+    sizeof(V) == sizeof(float) ? Precision::kSingle : Precision::kDouble;
+
+}  // namespace bspmv

@@ -1,0 +1,48 @@
+#include "src/formats/coo.hpp"
+
+#include <algorithm>
+
+#include "src/util/macros.hpp"
+
+namespace bspmv {
+
+template <class V>
+Coo<V>::Coo(index_t rows, index_t cols) : rows_(rows), cols_(cols) {
+  BSPMV_CHECK_MSG(rows >= 0 && cols >= 0, "matrix dimensions must be >= 0");
+}
+
+template <class V>
+void Coo<V>::add(index_t row, index_t col, V value) {
+  BSPMV_CHECK_MSG(row >= 0 && row < rows_ && col >= 0 && col < cols_,
+                  "COO entry out of bounds");
+  entries_.push_back(Triplet<V>{row, col, value});
+}
+
+template <class V>
+void Coo<V>::sort_and_combine() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Triplet<V>& a, const Triplet<V>& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (out > 0 && entries_[out - 1].row == entries_[i].row &&
+        entries_[out - 1].col == entries_[i].col) {
+      entries_[out - 1].value += entries_[i].value;
+    } else {
+      entries_[out++] = entries_[i];
+    }
+  }
+  entries_.resize(out);
+}
+
+template <class V>
+void Coo<V>::spmv_reference(const V* x, V* y) const {
+  std::fill(y, y + rows_, V{0});
+  for (const auto& e : entries_) y[e.row] += e.value * x[e.col];
+}
+
+template class Coo<float>;
+template class Coo<double>;
+
+}  // namespace bspmv

@@ -1,0 +1,56 @@
+// Coordinate (triplet) staging format.
+//
+// Every generator and file reader produces a Coo; every compressed format
+// is constructed from a Csr, which is itself built from a Coo. Coo is the
+// only format that allows unsorted/duplicate entries.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/formats/common.hpp"
+
+namespace bspmv {
+
+template <class V>
+struct Triplet {
+  index_t row;
+  index_t col;
+  V value;
+};
+
+/// Coordinate-format sparse matrix used for construction and as the
+/// reference implementation in tests.
+template <class V>
+class Coo {
+ public:
+  Coo() = default;
+  Coo(index_t rows, index_t cols);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  std::size_t nnz() const { return entries_.size(); }
+
+  /// Append one entry; bounds-checked.
+  void add(index_t row, index_t col, V value);
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  const std::vector<Triplet<V>>& entries() const { return entries_; }
+
+  /// Sort row-major and sum duplicate coordinates (keeping explicit zeros;
+  /// sparse solvers rely on stored zeros staying stored).
+  void sort_and_combine();
+
+  /// Reference y = A*x used to validate every optimised kernel.
+  void spmv_reference(const V* x, V* y) const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<Triplet<V>> entries_;
+};
+
+extern template class Coo<float>;
+extern template class Coo<double>;
+
+}  // namespace bspmv

@@ -1,0 +1,79 @@
+#include "src/formats/csr.hpp"
+
+#include "src/util/macros.hpp"
+
+namespace bspmv {
+
+template <class V>
+Csr<V> Csr<V>::from_coo(Coo<V> coo) {
+  coo.sort_and_combine();
+  const index_t n = coo.rows();
+  const index_t m = coo.cols();
+  const std::size_t nnz = coo.nnz();
+
+  aligned_vector<index_t> row_ptr(static_cast<std::size_t>(n) + 1, 0);
+  aligned_vector<index_t> col_ind(nnz);
+  aligned_vector<V> val(nnz);
+
+  for (const auto& e : coo.entries())
+    ++row_ptr[static_cast<std::size_t>(e.row) + 1];
+  for (index_t i = 0; i < n; ++i)
+    row_ptr[static_cast<std::size_t>(i) + 1] +=
+        row_ptr[static_cast<std::size_t>(i)];
+
+  std::size_t k = 0;
+  for (const auto& e : coo.entries()) {
+    col_ind[k] = e.col;
+    val[k] = e.value;
+    ++k;
+  }
+  return Csr(n, m, std::move(row_ptr), std::move(col_ind), std::move(val));
+}
+
+template <class V>
+Csr<V>::Csr(index_t rows, index_t cols, aligned_vector<index_t> row_ptr,
+            aligned_vector<index_t> col_ind, aligned_vector<V> val)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_ind_(std::move(col_ind)),
+      val_(std::move(val)) {
+  BSPMV_CHECK(rows_ >= 0 && cols_ >= 0);
+  BSPMV_CHECK_MSG(row_ptr_.size() == static_cast<std::size_t>(rows_) + 1,
+                  "row_ptr must have rows+1 entries");
+  BSPMV_CHECK_MSG(col_ind_.size() == val_.size(),
+                  "col_ind and val must be the same length");
+  BSPMV_CHECK_MSG(row_ptr_.front() == 0 &&
+                      static_cast<std::size_t>(row_ptr_.back()) == val_.size(),
+                  "row_ptr must start at 0 and end at nnz");
+  for (std::size_t i = 1; i < row_ptr_.size(); ++i)
+    BSPMV_CHECK_MSG(row_ptr_[i] >= row_ptr_[i - 1],
+                    "row_ptr must be non-decreasing");
+  for (index_t c : col_ind_)
+    BSPMV_CHECK_MSG(c >= 0 && c < cols_, "column index out of range");
+}
+
+template <class V>
+std::size_t Csr<V>::working_set_bytes() const {
+  return val_.size() * sizeof(V) + col_ind_.size() * sizeof(index_t) +
+         row_ptr_.size() * sizeof(index_t) +
+         static_cast<std::size_t>(cols_) * sizeof(V) +  // x
+         static_cast<std::size_t>(rows_) * sizeof(V);   // y
+}
+
+template <class V>
+Coo<V> Csr<V>::to_coo() const {
+  Coo<V> coo(rows_, cols_);
+  coo.reserve(nnz());
+  for (index_t i = 0; i < rows_; ++i)
+    for (index_t k = row_ptr_[static_cast<std::size_t>(i)];
+         k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k)
+      coo.add(i, col_ind_[static_cast<std::size_t>(k)],
+              val_[static_cast<std::size_t>(k)]);
+  return coo;
+}
+
+template class Csr<float>;
+template class Csr<double>;
+
+}  // namespace bspmv

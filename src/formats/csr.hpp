@@ -1,0 +1,62 @@
+// Compressed Sparse Row — the paper's baseline format (Barrett et al. [2]).
+//
+// Arrays exactly as described in §II: `val` (nnz values), `col_ind`
+// (nnz 4-byte column indices), `row_ptr` (n+1 pointers into val).
+#pragma once
+
+#include <cstddef>
+
+#include "src/formats/common.hpp"
+#include "src/formats/coo.hpp"
+
+namespace bspmv {
+
+template <class V>
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Build from a COO matrix (sorted + combined internally; the input is
+  /// taken by value so callers keep their copy only if they want it).
+  static Csr from_coo(Coo<V> coo);
+
+  /// Build directly from raw arrays (validated).
+  Csr(index_t rows, index_t cols, aligned_vector<index_t> row_ptr,
+      aligned_vector<index_t> col_ind, aligned_vector<V> val);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  std::size_t nnz() const { return val_.size(); }
+
+  const aligned_vector<index_t>& row_ptr() const { return row_ptr_; }
+  const aligned_vector<index_t>& col_ind() const { return col_ind_; }
+  const aligned_vector<V>& val() const { return val_; }
+
+  /// Mutable access for in-place experiments (e.g. the zeroed-col_ind
+  /// latency diagnosis benchmark of §V-B).
+  aligned_vector<index_t>& mutable_col_ind() { return col_ind_; }
+
+  index_t row_nnz(index_t row) const {
+    return row_ptr_[static_cast<std::size_t>(row) + 1] -
+           row_ptr_[static_cast<std::size_t>(row)];
+  }
+
+  /// Working set in bytes as accounted by the paper's models:
+  /// matrix arrays + input + output vector.
+  std::size_t working_set_bytes() const;
+
+  /// Round-trip back to COO (used by format converters and tests).
+  Coo<V> to_coo() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  aligned_vector<index_t> row_ptr_;
+  aligned_vector<index_t> col_ind_;
+  aligned_vector<V> val_;
+};
+
+extern template class Csr<float>;
+extern template class Csr<double>;
+
+}  // namespace bspmv

@@ -1,0 +1,120 @@
+#include "src/formats/csr_delta.hpp"
+
+#include "src/util/macros.hpp"
+
+namespace bspmv {
+
+namespace {
+
+// LEB128 unsigned varint append.
+void put_varint(aligned_vector<std::uint8_t>& out, std::uint32_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+BSPMV_ALWAYS_INLINE std::uint32_t get_varint(
+    const std::uint8_t* BSPMV_RESTRICT& p) {
+  std::uint32_t v = *p & 0x7f;
+  int shift = 7;
+  while (*p++ & 0x80) {
+    v |= static_cast<std::uint32_t>(*p & 0x7f) << shift;
+    shift += 7;
+  }
+  return v;
+}
+
+}  // namespace
+
+template <class V>
+CsrDelta<V> CsrDelta<V>::from_csr(const Csr<V>& a) {
+  const index_t n = a.rows();
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_ind = a.col_ind();
+
+  CsrDelta out;
+  out.rows_ = n;
+  out.cols_ = a.cols();
+  out.row_ptr_ = row_ptr;
+  out.val_ = a.val();
+  out.ctl_ptr_.reserve(static_cast<std::size_t>(n) + 1);
+  out.ctl_ptr_.push_back(0);
+  out.ctl_.reserve(a.nnz());  // lower bound: >= 1 byte per entry
+
+  for (index_t i = 0; i < n; ++i) {
+    index_t prev = 0;
+    bool first = true;
+    for (index_t k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index_t j = col_ind[static_cast<std::size_t>(k)];
+      if (first) {
+        put_varint(out.ctl_, static_cast<std::uint32_t>(j));
+        first = false;
+      } else {
+        BSPMV_DBG_ASSERT(j > prev);  // CSR columns are sorted and unique
+        put_varint(out.ctl_, static_cast<std::uint32_t>(j - prev));
+      }
+      prev = j;
+    }
+    out.ctl_ptr_.push_back(static_cast<index_t>(out.ctl_.size()));
+  }
+  return out;
+}
+
+template <class V>
+std::size_t CsrDelta<V>::working_set_bytes() const {
+  return val_.size() * sizeof(V) + row_ptr_.size() * sizeof(index_t) +
+         ctl_ptr_.size() * sizeof(index_t) + ctl_.size() +
+         static_cast<std::size_t>(cols_) * sizeof(V) +
+         static_cast<std::size_t>(rows_) * sizeof(V);
+}
+
+template <class V>
+Coo<V> CsrDelta<V>::to_coo() const {
+  Coo<V> coo(rows_, cols_);
+  coo.reserve(nnz());
+  for (index_t i = 0; i < rows_; ++i) {
+    const std::uint8_t* p = ctl_.data() + ctl_ptr_[static_cast<std::size_t>(i)];
+    index_t col = 0;
+    for (index_t k = row_ptr_[static_cast<std::size_t>(i)];
+         k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+      const auto d = static_cast<index_t>(get_varint(p));
+      col = (k == row_ptr_[static_cast<std::size_t>(i)]) ? d : col + d;
+      coo.add(i, col, val_[static_cast<std::size_t>(k)]);
+    }
+  }
+  return coo;
+}
+
+template <class V>
+void csr_delta_spmv(const CsrDelta<V>& a, const V* BSPMV_RESTRICT x,
+                    V* BSPMV_RESTRICT y) {
+  const index_t* BSPMV_RESTRICT row_ptr = a.row_ptr().data();
+  const index_t* BSPMV_RESTRICT ctl_ptr = a.ctl_ptr().data();
+  const std::uint8_t* BSPMV_RESTRICT ctl = a.ctl().data();
+  const V* BSPMV_RESTRICT val = a.val().data();
+  const index_t n = a.rows();
+
+  for (index_t i = 0; i < n; ++i) {
+    const std::uint8_t* p = ctl + ctl_ptr[i];
+    const index_t lo = row_ptr[i];
+    const index_t hi = row_ptr[i + 1];
+    V sum{0};
+    index_t col = 0;
+    for (index_t k = lo; k < hi; ++k) {
+      const auto d = static_cast<index_t>(get_varint(p));
+      col = (k == lo) ? d : col + d;
+      sum += val[k] * x[col];
+    }
+    y[i] += sum;
+  }
+}
+
+template class CsrDelta<float>;
+template class CsrDelta<double>;
+template void csr_delta_spmv(const CsrDelta<float>&, const float*, float*);
+template void csr_delta_spmv(const CsrDelta<double>&, const double*, double*);
+
+}  // namespace bspmv

@@ -1,0 +1,67 @@
+// Delta-compressed CSR — an extension implementing the *compression*
+// optimisation class the paper's introduction cites (Kourtis et al. [10],
+// Willcock & Lumsdaine [18]).
+//
+// The 4-byte col_ind array (≈ half of CSR's working set, §III) is
+// replaced by a variable-length byte stream: per row, the first column is
+// stored as an absolute LEB128 varint and every subsequent column as the
+// varint of its delta to the previous one. Nearly-consecutive columns
+// then cost one byte instead of four, trading decode instructions for
+// memory traffic — the same bandwidth-vs-compute trade-off the blocked
+// formats make, approached from the other side.
+//
+// Arrays: `val` and `row_ptr` exactly as CSR; `ctl` (the byte stream);
+// `ctl_ptr` (n+1 byte offsets into ctl).
+#pragma once
+
+#include <cstddef>
+
+#include "src/formats/common.hpp"
+#include "src/formats/csr.hpp"
+
+namespace bspmv {
+
+template <class V>
+class CsrDelta {
+ public:
+  CsrDelta() = default;
+
+  static CsrDelta from_csr(const Csr<V>& a);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  std::size_t nnz() const { return val_.size(); }
+  /// Compressed index bytes (vs 4·nnz for plain CSR).
+  std::size_t ctl_bytes() const { return ctl_.size(); }
+
+  const aligned_vector<index_t>& row_ptr() const { return row_ptr_; }
+  const aligned_vector<index_t>& ctl_ptr() const { return ctl_ptr_; }
+  const aligned_vector<std::uint8_t>& ctl() const { return ctl_; }
+  const aligned_vector<V>& val() const { return val_; }
+
+  std::size_t working_set_bytes() const;
+
+  Coo<V> to_coo() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  aligned_vector<index_t> row_ptr_;
+  aligned_vector<index_t> ctl_ptr_;
+  aligned_vector<std::uint8_t> ctl_;
+  aligned_vector<V> val_;
+};
+
+/// y += A·x decoding the delta stream on the fly (scalar only: the
+/// decode is inherently serial within a row).
+template <class V>
+void csr_delta_spmv(const CsrDelta<V>& a, const V* x, V* y);
+
+extern template class CsrDelta<float>;
+extern template class CsrDelta<double>;
+extern template void csr_delta_spmv(const CsrDelta<float>&, const float*,
+                                    float*);
+extern template void csr_delta_spmv(const CsrDelta<double>&, const double*,
+                                    double*);
+
+}  // namespace bspmv

@@ -1,0 +1,87 @@
+#include "src/formats/permute.hpp"
+
+#include <algorithm>
+
+#include "src/util/macros.hpp"
+
+namespace bspmv {
+
+bool is_permutation(const std::vector<index_t>& perm, index_t n) {
+  if (perm.size() != static_cast<std::size_t>(n)) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (index_t p : perm) {
+    if (p < 0 || p >= n || seen[static_cast<std::size_t>(p)]) return false;
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  return true;
+}
+
+std::vector<index_t> invert_permutation(const std::vector<index_t>& perm) {
+  std::vector<index_t> inv(perm.size());
+  for (std::size_t i = 0; i < perm.size(); ++i)
+    inv[static_cast<std::size_t>(perm[i])] = static_cast<index_t>(i);
+  return inv;
+}
+
+template <class V>
+Csr<V> permute_rows(const Csr<V>& a, const std::vector<index_t>& perm) {
+  BSPMV_CHECK_MSG(is_permutation(perm, a.rows()),
+                  "permute_rows: not a permutation of the row set");
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_ind = a.col_ind();
+  const auto& val = a.val();
+
+  aligned_vector<index_t> new_rp(row_ptr.size());
+  aligned_vector<index_t> new_ci(col_ind.size());
+  aligned_vector<V> new_val(val.size());
+  new_rp[0] = 0;
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const auto old_row = static_cast<std::size_t>(perm[i]);
+    for (index_t k = row_ptr[old_row]; k < row_ptr[old_row + 1]; ++k) {
+      new_ci[out] = col_ind[static_cast<std::size_t>(k)];
+      new_val[out] = val[static_cast<std::size_t>(k)];
+      ++out;
+    }
+    new_rp[i + 1] = static_cast<index_t>(out);
+  }
+  return Csr<V>(a.rows(), a.cols(), std::move(new_rp), std::move(new_ci),
+                std::move(new_val));
+}
+
+template <class V>
+Csr<V> permute_cols(const Csr<V>& a, const std::vector<index_t>& colperm) {
+  BSPMV_CHECK_MSG(is_permutation(colperm, a.cols()),
+                  "permute_cols: not a permutation of the column set");
+  const std::vector<index_t> inv = invert_permutation(colperm);
+
+  Coo<V> coo(a.rows(), a.cols());
+  coo.reserve(a.nnz());
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_ind = a.col_ind();
+  const auto& val = a.val();
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t k = row_ptr[static_cast<std::size_t>(i)];
+         k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+      coo.add(i, inv[static_cast<std::size_t>(col_ind[static_cast<std::size_t>(k)])],
+              val[static_cast<std::size_t>(k)]);
+  return Csr<V>::from_coo(std::move(coo));
+}
+
+template <class V>
+Csr<V> permute_symmetric(const Csr<V>& a, const std::vector<index_t>& perm) {
+  BSPMV_CHECK_MSG(a.rows() == a.cols(),
+                  "permute_symmetric needs a square matrix");
+  return permute_cols(permute_rows(a, perm), perm);
+}
+
+#define BSPMV_INST(V)                                                     \
+  template Csr<V> permute_rows(const Csr<V>&, const std::vector<index_t>&); \
+  template Csr<V> permute_cols(const Csr<V>&, const std::vector<index_t>&); \
+  template Csr<V> permute_symmetric(const Csr<V>&,                        \
+                                    const std::vector<index_t>&);
+BSPMV_INST(float)
+BSPMV_INST(double)
+#undef BSPMV_INST
+
+}  // namespace bspmv

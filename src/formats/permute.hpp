@@ -1,0 +1,46 @@
+// Row/column permutation utilities for reordering experiments.
+//
+// A permutation is a vector perm of length n where perm[i] is the OLD
+// index that lands at NEW position i (gather convention):
+//   B = P·A      => B.row(i) = A.row(perm[i])
+//   B = A·Pᵀ     => B.col(j) gathers A.col(colperm[j])
+#pragma once
+
+#include <vector>
+
+#include "src/formats/csr.hpp"
+
+namespace bspmv {
+
+/// Validate that perm is a permutation of [0, n).
+bool is_permutation(const std::vector<index_t>& perm, index_t n);
+
+/// inverse[perm[i]] = i.
+std::vector<index_t> invert_permutation(const std::vector<index_t>& perm);
+
+/// B.row(i) = A.row(perm[i]).
+template <class V>
+Csr<V> permute_rows(const Csr<V>& a, const std::vector<index_t>& perm);
+
+/// B(i, new_j) = A(i, old_j) with new_j = inv_colperm[old_j]; colperm uses
+/// the same gather convention as permute_rows.
+template <class V>
+Csr<V> permute_cols(const Csr<V>& a, const std::vector<index_t>& colperm);
+
+/// Symmetric relabelling B = P·A·Pᵀ (same permutation on rows and
+/// columns) — what an iterative solver applies so x/y stay consistent.
+template <class V>
+Csr<V> permute_symmetric(const Csr<V>& a, const std::vector<index_t>& perm);
+
+#define BSPMV_DECL(V)                                                       \
+  extern template Csr<V> permute_rows(const Csr<V>&,                       \
+                                      const std::vector<index_t>&);        \
+  extern template Csr<V> permute_cols(const Csr<V>&,                       \
+                                      const std::vector<index_t>&);        \
+  extern template Csr<V> permute_symmetric(const Csr<V>&,                  \
+                                           const std::vector<index_t>&);
+BSPMV_DECL(float)
+BSPMV_DECL(double)
+#undef BSPMV_DECL
+
+}  // namespace bspmv

@@ -1,0 +1,145 @@
+#include "src/formats/stats.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/macros.hpp"
+
+namespace bspmv {
+
+namespace {
+
+// Shared engine for BCSR/BCSD statistics.
+//
+// Both formats group rows into aligned bands of height `band` (r for BCSR,
+// b for BCSD) and map every nonzero within a band to a block key (the
+// block column bc = j/c for BCSR; the diagonal start column
+// j0 = j - (i - band_start) for BCSD). Blocks are then the distinct keys
+// within a band; a block is "full" when its key occurs `block_elems` times.
+template <class V, class KeyFn>
+void scan_bands(const Csr<V>& a, int band, KeyFn key_of,
+                std::size_t block_elems, BlockStats* padded,
+                DecompStats* dec) {
+  const index_t n = a.rows();
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_ind = a.col_ind();
+  std::vector<long long> keys;
+
+  for (index_t base = 0; base < n; base += band) {
+    const index_t end_row = std::min<index_t>(n, base + band);
+    keys.clear();
+    for (index_t i = base; i < end_row; ++i)
+      for (index_t k = row_ptr[static_cast<std::size_t>(i)];
+           k < row_ptr[static_cast<std::size_t>(i) + 1]; ++k)
+        keys.push_back(
+            key_of(i, col_ind[static_cast<std::size_t>(k)], base));
+    std::sort(keys.begin(), keys.end());
+
+    for (std::size_t s = 0; s < keys.size();) {
+      std::size_t e = s;
+      while (e < keys.size() && keys[e] == keys[s]) ++e;
+      const std::size_t count = e - s;
+      if (padded) {
+        padded->blocks += 1;
+        padded->stored_values += block_elems;
+        padded->covered_nnz += count;
+      }
+      if (dec) {
+        if (count == block_elems) {
+          dec->full.blocks += 1;
+          dec->full.stored_values += block_elems;
+          dec->full.covered_nnz += count;
+        } else {
+          dec->remainder_nnz += count;
+        }
+      }
+      s = e;
+    }
+  }
+}
+
+}  // namespace
+
+template <class V>
+BlockStats bcsr_stats(const Csr<V>& a, BlockShape shape) {
+  BSPMV_CHECK(shape.r >= 1 && shape.c >= 1);
+  BlockStats st;
+  scan_bands(
+      a, shape.r,
+      [c = shape.c](index_t, index_t j, index_t) -> long long { return j / c; },
+      static_cast<std::size_t>(shape.elems()), &st, nullptr);
+  return st;
+}
+
+template <class V>
+DecompStats bcsr_dec_stats(const Csr<V>& a, BlockShape shape) {
+  BSPMV_CHECK(shape.r >= 1 && shape.c >= 1);
+  DecompStats st;
+  scan_bands(
+      a, shape.r,
+      [c = shape.c](index_t, index_t j, index_t) -> long long { return j / c; },
+      static_cast<std::size_t>(shape.elems()), nullptr, &st);
+  return st;
+}
+
+template <class V>
+BlockStats bcsd_stats(const Csr<V>& a, int b) {
+  BSPMV_CHECK(b >= 1);
+  BlockStats st;
+  scan_bands(
+      a, b,
+      [](index_t i, index_t j, index_t base) -> long long {
+        return static_cast<long long>(j) - (i - base);
+      },
+      static_cast<std::size_t>(b), &st, nullptr);
+  return st;
+}
+
+template <class V>
+DecompStats bcsd_dec_stats(const Csr<V>& a, int b) {
+  BSPMV_CHECK(b >= 1);
+  DecompStats st;
+  scan_bands(
+      a, b,
+      [](index_t i, index_t j, index_t base) -> long long {
+        return static_cast<long long>(j) - (i - base);
+      },
+      static_cast<std::size_t>(b), nullptr, &st);
+  return st;
+}
+
+template <class V>
+std::size_t vbl_block_count(const Csr<V>& a) {
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_ind = a.col_ind();
+  std::size_t blocks = 0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const index_t lo = row_ptr[static_cast<std::size_t>(i)];
+    const index_t hi = row_ptr[static_cast<std::size_t>(i) + 1];
+    index_t k = lo;
+    while (k < hi) {
+      index_t run = 1;
+      while (k + run < hi &&
+             col_ind[static_cast<std::size_t>(k + run)] ==
+                 col_ind[static_cast<std::size_t>(k + run - 1)] + 1 &&
+             run < kVblMaxBlock)
+        ++run;
+      ++blocks;
+      k += run;
+    }
+  }
+  return blocks;
+}
+
+template BlockStats bcsr_stats(const Csr<float>&, BlockShape);
+template BlockStats bcsr_stats(const Csr<double>&, BlockShape);
+template DecompStats bcsr_dec_stats(const Csr<float>&, BlockShape);
+template DecompStats bcsr_dec_stats(const Csr<double>&, BlockShape);
+template BlockStats bcsd_stats(const Csr<float>&, int);
+template BlockStats bcsd_stats(const Csr<double>&, int);
+template DecompStats bcsd_dec_stats(const Csr<float>&, int);
+template DecompStats bcsd_dec_stats(const Csr<double>&, int);
+template std::size_t vbl_block_count(const Csr<float>&);
+template std::size_t vbl_block_count(const Csr<double>&);
+
+}  // namespace bspmv

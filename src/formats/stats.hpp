@@ -1,0 +1,62 @@
+// Structural block statistics computed without materialising a blocked
+// matrix.
+//
+// The performance models (§IV) need, for every candidate (format, block)
+// pair: the number of blocks nb, the padding, and from those the working
+// set. Computing these with one cheap structural pass over CSR makes model
+// evaluation orders of magnitude cheaper than converting the matrix to
+// every candidate format.
+#pragma once
+
+#include <cstddef>
+
+#include "src/formats/block_shapes.hpp"
+#include "src/formats/csr.hpp"
+
+namespace bspmv {
+
+/// Statistics of a blocking-with-padding layout.
+struct BlockStats {
+  std::size_t blocks = 0;         ///< nb — number of stored blocks
+  std::size_t stored_values = 0;  ///< nb · block_elems (values incl. padding)
+  std::size_t covered_nnz = 0;    ///< nonzeros covered by the counted blocks
+
+  std::size_t padding() const { return stored_values - covered_nnz; }
+  /// Fill ratio: covered nonzeros / stored values (1.0 = no padding).
+  double fill() const {
+    return stored_values == 0
+               ? 1.0
+               : static_cast<double>(covered_nnz) /
+                     static_cast<double>(stored_values);
+  }
+};
+
+/// Statistics of a decomposed layout: full blocks + CSR remainder.
+struct DecompStats {
+  BlockStats full;                ///< the padding-free blocked submatrix
+  std::size_t remainder_nnz = 0;  ///< nonzeros left to the CSR part
+};
+
+/// BCSR with padding: every aligned r×c block containing >= 1 nonzero.
+template <class V>
+BlockStats bcsr_stats(const Csr<V>& a, BlockShape shape);
+
+/// BCSR-DEC: only completely full aligned blocks are extracted.
+template <class V>
+DecompStats bcsr_dec_stats(const Csr<V>& a, BlockShape shape);
+
+/// BCSD with padding: every aligned diagonal block of length b containing
+/// >= 1 nonzero.
+template <class V>
+BlockStats bcsd_stats(const Csr<V>& a, int b);
+
+/// BCSD-DEC: only completely full diagonal blocks are extracted.
+template <class V>
+DecompStats bcsd_dec_stats(const Csr<V>& a, int b);
+
+/// 1D-VBL: number of stored blocks (maximal runs of consecutive columns,
+/// split into 255-element chunks per the one-byte blk_size entries).
+template <class V>
+std::size_t vbl_block_count(const Csr<V>& a);
+
+}  // namespace bspmv

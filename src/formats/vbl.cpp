@@ -1,0 +1,72 @@
+#include "src/formats/vbl.hpp"
+
+#include "src/util/macros.hpp"
+
+namespace bspmv {
+
+template <class V>
+Vbl<V> Vbl<V>::from_csr(const Csr<V>& a) {
+  const index_t n = a.rows();
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_ind = a.col_ind();
+  const auto& val = a.val();
+
+  Vbl out;
+  out.rows_ = n;
+  out.cols_ = a.cols();
+  out.row_ptr_ = row_ptr;  // identical role and contents as in CSR
+  out.val_ = val;          // nonzeros in the same row-major order
+
+  for (index_t i = 0; i < n; ++i) {
+    const index_t lo = row_ptr[static_cast<std::size_t>(i)];
+    const index_t hi = row_ptr[static_cast<std::size_t>(i) + 1];
+    index_t k = lo;
+    while (k < hi) {
+      index_t run = 1;
+      while (k + run < hi &&
+             col_ind[static_cast<std::size_t>(k + run)] ==
+                 col_ind[static_cast<std::size_t>(k + run - 1)] + 1 &&
+             run < kVblMaxBlock)
+        ++run;
+      out.bcol_ind_.push_back(col_ind[static_cast<std::size_t>(k)]);
+      out.blk_size_.push_back(static_cast<blk_size_t>(run));
+      k += run;
+    }
+  }
+  return out;
+}
+
+template <class V>
+std::size_t Vbl<V>::working_set_bytes() const {
+  return val_.size() * sizeof(V) + row_ptr_.size() * sizeof(index_t) +
+         bcol_ind_.size() * sizeof(index_t) +
+         blk_size_.size() * sizeof(blk_size_t) +
+         static_cast<std::size_t>(cols_) * sizeof(V) +
+         static_cast<std::size_t>(rows_) * sizeof(V);
+}
+
+template <class V>
+Coo<V> Vbl<V>::to_coo() const {
+  Coo<V> coo(rows_, cols_);
+  coo.reserve(nnz());
+  std::size_t blk = 0;
+  std::size_t k = 0;
+  for (index_t i = 0; i < rows_; ++i) {
+    const std::size_t hi =
+        static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(i) + 1]);
+    while (k < hi) {
+      const index_t col0 = bcol_ind_[blk];
+      const int size = blk_size_[blk];
+      for (int t = 0; t < size; ++t) coo.add(i, col0 + t, val_[k + static_cast<std::size_t>(t)]);
+      k += static_cast<std::size_t>(size);
+      ++blk;
+    }
+  }
+  BSPMV_DBG_ASSERT(blk == blocks() && k == nnz());
+  return coo;
+}
+
+template class Vbl<float>;
+template class Vbl<double>;
+
+}  // namespace bspmv

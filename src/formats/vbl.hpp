@@ -1,0 +1,50 @@
+// One-dimensional Variable Block Length (Pinar & Heath [12]) — §II-B.
+//
+// Stores maximal runs of horizontally-consecutive nonzeros as variable-size
+// blocks, with no padding. Arrays per the paper: `val` and `row_ptr` exactly
+// as in CSR, `bcol_ind` (starting column of each block), and `blk_size`
+// (one-byte length of each block — blocks longer than 255 elements are
+// split into 255-element chunks, matching §V's implementation note).
+#pragma once
+
+#include <cstddef>
+
+#include "src/formats/common.hpp"
+#include "src/formats/csr.hpp"
+
+namespace bspmv {
+
+template <class V>
+class Vbl {
+ public:
+  Vbl() = default;
+
+  static Vbl from_csr(const Csr<V>& a);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  std::size_t nnz() const { return val_.size(); }
+  std::size_t blocks() const { return bcol_ind_.size(); }
+
+  const aligned_vector<index_t>& row_ptr() const { return row_ptr_; }
+  const aligned_vector<index_t>& bcol_ind() const { return bcol_ind_; }
+  const aligned_vector<blk_size_t>& blk_size() const { return blk_size_; }
+  const aligned_vector<V>& val() const { return val_; }
+
+  std::size_t working_set_bytes() const;
+
+  Coo<V> to_coo() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  aligned_vector<index_t> row_ptr_;
+  aligned_vector<index_t> bcol_ind_;
+  aligned_vector<blk_size_t> blk_size_;
+  aligned_vector<V> val_;
+};
+
+extern template class Vbl<float>;
+extern template class Vbl<double>;
+
+}  // namespace bspmv

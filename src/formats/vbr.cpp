@@ -1,0 +1,149 @@
+#include "src/formats/vbr.hpp"
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "src/util/macros.hpp"
+
+namespace bspmv {
+
+namespace {
+
+template <class V>
+std::span<const index_t> row_cols(const Csr<V>& a, index_t i) {
+  const auto lo = static_cast<std::size_t>(a.row_ptr()[static_cast<std::size_t>(i)]);
+  const auto hi = static_cast<std::size_t>(a.row_ptr()[static_cast<std::size_t>(i) + 1]);
+  return {a.col_ind().data() + lo, hi - lo};
+}
+
+}  // namespace
+
+template <class V>
+Vbr<V> Vbr<V>::from_csr(const Csr<V>& a) {
+  const index_t n = a.rows();
+  const index_t m = a.cols();
+
+  Vbr out;
+  out.rows_ = n;
+  out.cols_ = m;
+
+  // 1. Row partition: consecutive rows with identical column support.
+  out.rpntr_.push_back(0);
+  for (index_t i = 1; i < n; ++i) {
+    const auto prev = row_cols(a, i - 1);
+    const auto cur = row_cols(a, i);
+    if (prev.size() != cur.size() ||
+        !std::equal(prev.begin(), prev.end(), cur.begin()))
+      out.rpntr_.push_back(i);
+  }
+  if (n > 0) out.rpntr_.push_back(n);
+
+  // 2. Column partition: union of every block row's run boundaries.
+  std::vector<index_t> bounds;
+  bounds.push_back(0);
+  bounds.push_back(m);
+  const index_t nbr = static_cast<index_t>(out.rpntr_.size()) - 1;
+  for (index_t br = 0; br < nbr; ++br) {
+    const auto cols = row_cols(a, out.rpntr_[static_cast<std::size_t>(br)]);
+    std::size_t s = 0;
+    while (s < cols.size()) {
+      std::size_t e = s;
+      while (e + 1 < cols.size() && cols[e + 1] == cols[e] + 1) ++e;
+      bounds.push_back(cols[s]);
+      bounds.push_back(cols[e] + 1);
+      s = e + 1;
+    }
+  }
+  std::sort(bounds.begin(), bounds.end());
+  bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  out.cpntr_.assign(bounds.begin(), bounds.end());
+  if (out.cpntr_.empty()) out.cpntr_.push_back(0);
+
+  // 3. Blocks: each block row's runs split at the global column partition.
+  out.brow_ptr_.push_back(0);
+  out.bval_ptr_.push_back(0);
+  const auto& row_ptr = a.row_ptr();
+  const auto& val = a.val();
+  for (index_t br = 0; br < nbr; ++br) {
+    const index_t r0 = out.rpntr_[static_cast<std::size_t>(br)];
+    const index_t r1 = out.rpntr_[static_cast<std::size_t>(br) + 1];
+    const index_t height = r1 - r0;
+    const auto cols = row_cols(a, r0);
+
+    std::size_t s = 0;
+    while (s < cols.size()) {
+      std::size_t e = s;
+      while (e + 1 < cols.size() && cols[e + 1] == cols[e] + 1) ++e;
+      const index_t run_lo = cols[s];
+      const index_t run_hi = cols[e] + 1;
+      // Split [run_lo, run_hi) at cpntr boundaries; each piece is one
+      // column-partition cell (run_lo/run_hi are themselves boundaries).
+      auto it = std::lower_bound(out.cpntr_.begin(), out.cpntr_.end(), run_lo);
+      BSPMV_DBG_ASSERT(it != out.cpntr_.end() && *it == run_lo);
+      auto bc = static_cast<index_t>(it - out.cpntr_.begin());
+      index_t lo = run_lo;
+      while (lo < run_hi) {
+        const index_t hi = out.cpntr_[static_cast<std::size_t>(bc) + 1];
+        BSPMV_DBG_ASSERT(hi <= run_hi);
+        out.bindx_.push_back(bc);
+        // Dense height×(hi-lo) block, row-major: all positions are
+        // nonzero because every row in the group shares the run.
+        for (index_t i = r0; i < r1; ++i) {
+          const auto rc = row_cols(a, i);
+          const auto pos = static_cast<std::size_t>(
+              std::lower_bound(rc.begin(), rc.end(), lo) - rc.begin());
+          const std::size_t base =
+              static_cast<std::size_t>(row_ptr[static_cast<std::size_t>(i)]) + pos;
+          for (index_t j = 0; j < hi - lo; ++j)
+            out.val_.push_back(val[base + static_cast<std::size_t>(j)]);
+        }
+        out.bval_ptr_.push_back(static_cast<index_t>(out.val_.size()));
+        lo = hi;
+        ++bc;
+      }
+      s = e + 1;
+    }
+    out.brow_ptr_.push_back(static_cast<index_t>(out.bindx_.size()));
+    (void)height;
+  }
+  BSPMV_DBG_ASSERT(out.val_.size() == a.nnz());
+  return out;
+}
+
+template <class V>
+std::size_t Vbr<V>::working_set_bytes() const {
+  return val_.size() * sizeof(V) +
+         (rpntr_.size() + cpntr_.size() + brow_ptr_.size() + bindx_.size() +
+          bval_ptr_.size()) *
+             sizeof(index_t) +
+         static_cast<std::size_t>(cols_) * sizeof(V) +
+         static_cast<std::size_t>(rows_) * sizeof(V);
+}
+
+template <class V>
+Coo<V> Vbr<V>::to_coo() const {
+  Coo<V> coo(rows_, cols_);
+  coo.reserve(nnz());
+  const index_t nbr = block_rows();
+  for (index_t br = 0; br < nbr; ++br) {
+    const index_t r0 = rpntr_[static_cast<std::size_t>(br)];
+    const index_t r1 = rpntr_[static_cast<std::size_t>(br) + 1];
+    for (index_t blk = brow_ptr_[static_cast<std::size_t>(br)];
+         blk < brow_ptr_[static_cast<std::size_t>(br) + 1]; ++blk) {
+      const index_t bc = bindx_[static_cast<std::size_t>(blk)];
+      const index_t c0 = cpntr_[static_cast<std::size_t>(bc)];
+      const index_t c1 = cpntr_[static_cast<std::size_t>(bc) + 1];
+      const V* bv = val_.data() + bval_ptr_[static_cast<std::size_t>(blk)];
+      for (index_t i = r0; i < r1; ++i)
+        for (index_t j = c0; j < c1; ++j)
+          coo.add(i, j, *bv++);
+    }
+  }
+  return coo;
+}
+
+template class Vbr<float>;
+template class Vbr<double>;
+
+}  // namespace bspmv

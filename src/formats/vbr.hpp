@@ -1,0 +1,67 @@
+// Variable Block Row (Saad, SPARSKIT [13]) — §II-B, built as an extension.
+//
+// VBR partitions the matrix both horizontally and vertically so that every
+// stored block contains only nonzero elements: consecutive rows with an
+// identical column support form a block row, and the column partition is
+// the common refinement of every block row's run boundaries. Compared to
+// CSR it carries two extra indexing structures (the row/column partition
+// vectors), which is exactly the cost the paper attributes to it.
+//
+// Arrays: `rpntr` (row-partition starts, nbr+1), `cpntr` (column-partition
+// starts, nbc+1), `brow_ptr` (first block of each block row, nbr+1),
+// `bindx` (block-column index per block), `bval_ptr` (offset of each
+// block's values in `val`, nblocks+1), `val` (dense row-major block
+// values — all nonzero by construction).
+#pragma once
+
+#include <cstddef>
+
+#include "src/formats/common.hpp"
+#include "src/formats/csr.hpp"
+
+namespace bspmv {
+
+template <class V>
+class Vbr {
+ public:
+  Vbr() = default;
+
+  static Vbr from_csr(const Csr<V>& a);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  std::size_t nnz() const { return val_.size(); }
+  std::size_t blocks() const { return bindx_.size(); }
+  index_t block_rows() const {
+    return static_cast<index_t>(rpntr_.size()) - 1;
+  }
+  index_t block_cols() const {
+    return static_cast<index_t>(cpntr_.size()) - 1;
+  }
+
+  const aligned_vector<index_t>& rpntr() const { return rpntr_; }
+  const aligned_vector<index_t>& cpntr() const { return cpntr_; }
+  const aligned_vector<index_t>& brow_ptr() const { return brow_ptr_; }
+  const aligned_vector<index_t>& bindx() const { return bindx_; }
+  const aligned_vector<index_t>& bval_ptr() const { return bval_ptr_; }
+  const aligned_vector<V>& val() const { return val_; }
+
+  std::size_t working_set_bytes() const;
+
+  Coo<V> to_coo() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  aligned_vector<index_t> rpntr_;
+  aligned_vector<index_t> cpntr_;
+  aligned_vector<index_t> brow_ptr_;
+  aligned_vector<index_t> bindx_;
+  aligned_vector<index_t> bval_ptr_;
+  aligned_vector<V> val_;
+};
+
+extern template class Vbr<float>;
+extern template class Vbr<double>;
+
+}  // namespace bspmv

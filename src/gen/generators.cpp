@@ -1,0 +1,275 @@
+#include "src/gen/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/macros.hpp"
+#include "src/util/prng.hpp"
+
+namespace bspmv {
+
+namespace {
+
+template <class V>
+V rand_value(Xoshiro256& rng) {
+  // Values in [0.1, 1.1): never zero, bounded magnitude so accumulated
+  // rounding stays small in the test comparisons.
+  return static_cast<V>(0.1 + rng.uniform());
+}
+
+}  // namespace
+
+template <class V>
+Coo<V> gen_dense(index_t n, index_t m, std::uint64_t seed) {
+  BSPMV_CHECK(n >= 1 && m >= 1);
+  Coo<V> coo(n, m);
+  coo.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(m));
+  Xoshiro256 rng(seed);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < m; ++j) coo.add(i, j, rand_value<V>(rng));
+  return coo;
+}
+
+template <class V>
+Coo<V> gen_uniform_random(index_t n, index_t m, std::size_t nnz,
+                          std::uint64_t seed) {
+  BSPMV_CHECK(n >= 1 && m >= 1);
+  Coo<V> coo(n, m);
+  coo.reserve(nnz);
+  Xoshiro256 rng(seed);
+  for (std::size_t k = 0; k < nnz; ++k) {
+    const auto i = static_cast<index_t>(rng.below(static_cast<std::uint64_t>(n)));
+    const auto j = static_cast<index_t>(rng.below(static_cast<std::uint64_t>(m)));
+    coo.add(i, j, rand_value<V>(rng));
+  }
+  coo.sort_and_combine();
+  return coo;
+}
+
+template <class V>
+Coo<V> gen_stencil_2d(index_t nx, index_t ny, int points, std::uint64_t seed) {
+  BSPMV_CHECK_MSG(points == 5 || points == 9, "2-D stencil must be 5 or 9 pt");
+  const index_t n = nx * ny;
+  Coo<V> coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(points));
+  Xoshiro256 rng(seed);
+  const int reach = 1;
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      const index_t row = y * nx + x;
+      for (int dy = -reach; dy <= reach; ++dy) {
+        for (int dx = -reach; dx <= reach; ++dx) {
+          if (points == 5 && dx != 0 && dy != 0) continue;  // no corners
+          const index_t xx = x + dx;
+          const index_t yy = y + dy;
+          if (xx < 0 || xx >= nx || yy < 0 || yy >= ny) continue;
+          coo.add(row, yy * nx + xx, rand_value<V>(rng));
+        }
+      }
+    }
+  }
+  return coo;
+}
+
+template <class V>
+Coo<V> gen_stencil_3d(index_t nx, index_t ny, index_t nz, int points,
+                      std::uint64_t seed) {
+  BSPMV_CHECK_MSG(points == 7 || points == 27, "3-D stencil must be 7 or 27 pt");
+  const index_t n = nx * ny * nz;
+  Coo<V> coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(points));
+  Xoshiro256 rng(seed);
+  for (index_t z = 0; z < nz; ++z) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t x = 0; x < nx; ++x) {
+        const index_t row = (z * ny + y) * nx + x;
+        for (int dz = -1; dz <= 1; ++dz) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              const int manhattan = std::abs(dx) + std::abs(dy) + std::abs(dz);
+              if (points == 7 && manhattan > 1) continue;  // faces only
+              const index_t xx = x + dx, yy = y + dy, zz = z + dz;
+              if (xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz < 0 ||
+                  zz >= nz)
+                continue;
+              coo.add(row, (zz * ny + yy) * nx + xx, rand_value<V>(rng));
+            }
+          }
+        }
+      }
+    }
+  }
+  return coo;
+}
+
+template <class V>
+Coo<V> gen_blocked_band(index_t nodes, int block, index_t node_band, int nbrs,
+                        double fill, std::uint64_t seed) {
+  BSPMV_CHECK(nodes >= 1 && block >= 1 && nbrs >= 0);
+  BSPMV_CHECK(fill >= 0.0 && fill <= 1.0);
+  const index_t n = nodes * block;
+  Coo<V> coo(n, n);
+  Xoshiro256 rng(seed);
+
+  auto emit_block = [&](index_t bi, index_t bj, bool full) {
+    for (int r = 0; r < block; ++r) {
+      for (int c = 0; c < block; ++c) {
+        if (!full && rng.uniform() > 0.6) continue;
+        coo.add(bi * block + r, bj * block + c, rand_value<V>(rng));
+      }
+    }
+  };
+
+  for (index_t i = 0; i < nodes; ++i) {
+    emit_block(i, i, /*full=*/true);  // self-coupling is always dense
+    for (int k = 0; k < nbrs; ++k) {
+      const index_t lo = std::max<index_t>(0, i - node_band);
+      const index_t hi = std::min<index_t>(nodes - 1, i + node_band);
+      const index_t j =
+          lo + static_cast<index_t>(rng.below(
+                   static_cast<std::uint64_t>(hi - lo + 1)));
+      emit_block(i, j, rng.uniform() < fill);
+    }
+  }
+  coo.sort_and_combine();
+  return coo;
+}
+
+template <class V>
+Coo<V> gen_rmat(int scale, std::size_t nnz, double a, double b, double c,
+                std::uint64_t seed) {
+  BSPMV_CHECK(scale >= 1 && scale <= 30);
+  BSPMV_CHECK(a > 0 && b >= 0 && c >= 0 && a + b + c < 1.0);
+  const index_t n = index_t{1} << scale;
+  Coo<V> coo(n, n);
+  coo.reserve(nnz);
+  Xoshiro256 rng(seed);
+  for (std::size_t k = 0; k < nnz; ++k) {
+    index_t i = 0, j = 0;
+    for (int level = 0; level < scale; ++level) {
+      const double u = rng.uniform();
+      i <<= 1;
+      j <<= 1;
+      if (u < a) {
+        // top-left quadrant
+      } else if (u < a + b) {
+        j |= 1;
+      } else if (u < a + b + c) {
+        i |= 1;
+      } else {
+        i |= 1;
+        j |= 1;
+      }
+    }
+    coo.add(i, j, rand_value<V>(rng));
+  }
+  coo.sort_and_combine();
+  return coo;
+}
+
+template <class V>
+Coo<V> gen_short_rows(index_t n, int min_nnz, int max_nnz,
+                      std::uint64_t seed) {
+  BSPMV_CHECK(n >= 1 && min_nnz >= 0 && max_nnz >= min_nnz);
+  Coo<V> coo(n, n);
+  Xoshiro256 rng(seed);
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, rand_value<V>(rng));  // diagonal keeps the matrix usable
+    const int extra =
+        min_nnz + static_cast<int>(rng.below(
+                      static_cast<std::uint64_t>(max_nnz - min_nnz + 1)));
+    for (int k = 0; k < extra; ++k) {
+      const auto j =
+          static_cast<index_t>(rng.below(static_cast<std::uint64_t>(n)));
+      coo.add(i, j, rand_value<V>(rng));
+    }
+  }
+  coo.sort_and_combine();
+  return coo;
+}
+
+template <class V>
+Coo<V> gen_row_segments(index_t n, index_t m, int segs_min, int segs_max,
+                        int len_min, int len_max, std::uint64_t seed) {
+  BSPMV_CHECK(n >= 1 && m >= 1);
+  BSPMV_CHECK(segs_min >= 1 && segs_max >= segs_min);
+  BSPMV_CHECK(len_min >= 1 && len_max >= len_min && len_max <= m);
+  Coo<V> coo(n, m);
+  Xoshiro256 rng(seed);
+  for (index_t i = 0; i < n; ++i) {
+    const int segs =
+        segs_min + static_cast<int>(rng.below(
+                       static_cast<std::uint64_t>(segs_max - segs_min + 1)));
+    for (int s = 0; s < segs; ++s) {
+      const int len =
+          len_min + static_cast<int>(rng.below(
+                        static_cast<std::uint64_t>(len_max - len_min + 1)));
+      const auto start = static_cast<index_t>(
+          rng.below(static_cast<std::uint64_t>(m - len + 1)));
+      for (int t = 0; t < len; ++t)
+        coo.add(i, start + t, rand_value<V>(rng));
+    }
+  }
+  coo.sort_and_combine();
+  return coo;
+}
+
+template <class V>
+Coo<V> gen_multi_diagonal(index_t n, const std::vector<index_t>& offsets,
+                          std::uint64_t seed) {
+  BSPMV_CHECK(n >= 1);
+  Coo<V> coo(n, n);
+  Xoshiro256 rng(seed);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t off : offsets) {
+      const index_t j = i + off;
+      if (j >= 0 && j < n) coo.add(i, j, rand_value<V>(rng));
+    }
+  }
+  coo.sort_and_combine();
+  return coo;
+}
+
+template <class V>
+Coo<V> combine(Coo<V> a, const Coo<V>& b) {
+  BSPMV_CHECK_MSG(a.rows() == b.rows() && a.cols() == b.cols(),
+                  "combine: dimension mismatch");
+  for (const auto& e : b.entries()) a.add(e.row, e.col, e.value);
+  a.sort_and_combine();
+  return a;
+}
+
+template <class V>
+Coo<V> perturb_drop(const Coo<V>& a, double drop_prob, std::uint64_t seed) {
+  BSPMV_CHECK(drop_prob >= 0.0 && drop_prob <= 1.0);
+  Coo<V> out(a.rows(), a.cols());
+  out.reserve(a.nnz());
+  Xoshiro256 rng(seed);
+  for (const auto& e : a.entries())
+    if (rng.uniform() >= drop_prob) out.add(e.row, e.col, e.value);
+  return out;
+}
+
+#define BSPMV_INST(V)                                                        \
+  template Coo<V> gen_dense(index_t, index_t, std::uint64_t);                \
+  template Coo<V> gen_uniform_random(index_t, index_t, std::size_t,          \
+                                     std::uint64_t);                         \
+  template Coo<V> gen_stencil_2d(index_t, index_t, int, std::uint64_t);      \
+  template Coo<V> gen_stencil_3d(index_t, index_t, index_t, int,             \
+                                 std::uint64_t);                             \
+  template Coo<V> gen_blocked_band(index_t, int, index_t, int, double,       \
+                                   std::uint64_t);                           \
+  template Coo<V> gen_rmat(int, std::size_t, double, double, double,         \
+                           std::uint64_t);                                   \
+  template Coo<V> gen_short_rows(index_t, int, int, std::uint64_t);          \
+  template Coo<V> gen_row_segments(index_t, index_t, int, int, int, int,     \
+                                   std::uint64_t);                           \
+  template Coo<V> gen_multi_diagonal(index_t, const std::vector<index_t>&,   \
+                                     std::uint64_t);                         \
+  template Coo<V> combine(Coo<V>, const Coo<V>&);                            \
+  template Coo<V> perturb_drop(const Coo<V>&, double, std::uint64_t);
+BSPMV_INST(float)
+BSPMV_INST(double)
+#undef BSPMV_INST
+
+}  // namespace bspmv

@@ -1,0 +1,103 @@
+// Deterministic synthetic sparse-matrix generators.
+//
+// The paper's suite comes from the University of Florida collection; in
+// this reproduction each matrix is substituted by a generator that mimics
+// its *structural class* — the property the blocking formats and the
+// models actually respond to (dense sub-blocks, diagonal runs, horizontal
+// segments, short irregular rows, power-law columns). All generators are
+// seeded and platform-independent (xoshiro256**), so the suite is
+// bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/formats/coo.hpp"
+
+namespace bspmv {
+
+/// Fully dense n×m matrix (suite matrix #1).
+template <class V>
+Coo<V> gen_dense(index_t n, index_t m, std::uint64_t seed);
+
+/// Uniformly random positions (suite matrix #2) — the blocking worst case.
+template <class V>
+Coo<V> gen_uniform_random(index_t n, index_t m, std::size_t nnz,
+                          std::uint64_t seed);
+
+/// 2-D structured-grid stencil on an nx×ny grid; points ∈ {5, 9}.
+template <class V>
+Coo<V> gen_stencil_2d(index_t nx, index_t ny, int points, std::uint64_t seed);
+
+/// 3-D structured-grid stencil on an nx×ny×nz grid; points ∈ {7, 27}.
+template <class V>
+Coo<V> gen_stencil_3d(index_t nx, index_t ny, index_t nz, int points,
+                      std::uint64_t seed);
+
+/// FEM-like matrix of `nodes` nodes with `block` degrees of freedom each
+/// (n = nodes·block). Every node couples to itself and `nbrs` random
+/// neighbours within ±node_band; each coupling becomes a block×block
+/// sub-block that is fully dense with probability `fill`, else ~60%
+/// filled. This is the structural-mechanics class (audikw_1, ldoor, ...)
+/// where BCSR shines.
+template <class V>
+Coo<V> gen_blocked_band(index_t nodes, int block, index_t node_band, int nbrs,
+                        double fill, std::uint64_t seed);
+
+/// R-MAT power-law graph (Chakrabarti et al. parameters a,b,c; d = 1-a-b-c)
+/// on n = 2^scale vertices — the web/wiki graph class with irregular
+/// input-vector access.
+template <class V>
+Coo<V> gen_rmat(int scale, std::size_t nnz, double a, double b, double c,
+                std::uint64_t seed);
+
+/// Circuit-like: a diagonal plus very short rows (min..max scattered
+/// off-diagonals each), defeating both blocking and prefetching.
+template <class V>
+Coo<V> gen_short_rows(index_t n, int min_nnz, int max_nnz,
+                      std::uint64_t seed);
+
+/// LP-like: each row carries segs horizontal runs of len consecutive
+/// nonzeros at random positions — the 1-D (1×c, 1D-VBL) blocking class.
+template <class V>
+Coo<V> gen_row_segments(index_t n, index_t m, int segs_min, int segs_max,
+                        int len_min, int len_max, std::uint64_t seed);
+
+/// Multi-diagonal matrix: full diagonals at the given offsets — the BCSD
+/// sweet spot.
+template <class V>
+Coo<V> gen_multi_diagonal(index_t n, const std::vector<index_t>& offsets,
+                          std::uint64_t seed);
+
+/// Union of two patterns (duplicate coordinates are summed on compression).
+template <class V>
+Coo<V> combine(Coo<V> a, const Coo<V>& b);
+
+/// Randomly drop entries with probability p — structural perturbation
+/// used to mimic "almost regular" matrices (thermal2-like).
+template <class V>
+Coo<V> perturb_drop(const Coo<V>& a, double drop_prob, std::uint64_t seed);
+
+#define BSPMV_DECL(V)                                                         \
+  extern template Coo<V> gen_dense(index_t, index_t, std::uint64_t);          \
+  extern template Coo<V> gen_uniform_random(index_t, index_t, std::size_t,    \
+                                            std::uint64_t);                   \
+  extern template Coo<V> gen_stencil_2d(index_t, index_t, int, std::uint64_t); \
+  extern template Coo<V> gen_stencil_3d(index_t, index_t, index_t, int,       \
+                                        std::uint64_t);                       \
+  extern template Coo<V> gen_blocked_band(index_t, int, index_t, int, double, \
+                                          std::uint64_t);                     \
+  extern template Coo<V> gen_rmat(int, std::size_t, double, double, double,   \
+                                  std::uint64_t);                             \
+  extern template Coo<V> gen_short_rows(index_t, int, int, std::uint64_t);    \
+  extern template Coo<V> gen_row_segments(index_t, index_t, int, int, int,    \
+                                          int, std::uint64_t);                \
+  extern template Coo<V> gen_multi_diagonal(                                  \
+      index_t, const std::vector<index_t>&, std::uint64_t);                   \
+  extern template Coo<V> combine(Coo<V>, const Coo<V>&);                      \
+  extern template Coo<V> perturb_drop(const Coo<V>&, double, std::uint64_t);
+BSPMV_DECL(float)
+BSPMV_DECL(double)
+#undef BSPMV_DECL
+
+}  // namespace bspmv

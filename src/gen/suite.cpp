@@ -1,0 +1,215 @@
+#include "src/gen/suite.hpp"
+
+#include <cmath>
+
+#include "src/gen/generators.hpp"
+#include "src/util/macros.hpp"
+
+namespace bspmv {
+
+const std::vector<SuiteMatrixInfo>& suite_catalog() {
+  static const std::vector<SuiteMatrixInfo> catalog = {
+      {1, "dense", "special", true, false},
+      {2, "random", "special", true, false},
+      {3, "cfd2", "CFD", false, false},
+      {4, "parabolic_fem", "CFD", false, false},
+      {5, "Ga41As41H72", "Chemistry", false, false},
+      {6, "ASIC_680k", "Circuit", false, false},
+      {7, "G3_circuit", "Circuit", false, false},
+      {8, "Hamrle3", "Circuit", false, false},
+      {9, "rajat31", "Circuit", false, false},
+      {10, "cage15", "Graph", false, false},
+      {11, "wb-edu", "Graph", false, false},
+      {12, "wikipedia", "Graph", false, false},
+      {13, "degme", "Lin. Prog.", false, false},
+      {14, "rail4284", "Lin. Prog.", false, false},
+      {15, "spal_004", "Lin. Prog.", false, false},
+      {16, "bone010", "Other", false, false},
+      {17, "kkt_power", "Power", false, true},
+      {18, "largebasis", "Opt.", false, true},
+      {19, "TSOPF_RS", "Opt.", false, true},
+      {20, "af_shell10", "Struct.", false, true},
+      {21, "audikw_1", "Struct.", false, true},
+      {22, "F1", "Struct.", false, true},
+      {23, "fdiff", "Struct.", false, true},
+      {24, "gearbox", "Struct.", false, true},
+      {25, "inline_1", "Struct.", false, true},
+      {26, "ldoor", "Struct.", false, true},
+      {27, "pwtk", "Struct.", false, true},
+      {28, "thermal2", "Other", false, true},
+      {29, "nd24k", "Other", false, true},
+      {30, "stomach", "Other", false, true},
+  };
+  return catalog;
+}
+
+SuiteScale parse_suite_scale(const std::string& s) {
+  if (s == "tiny") return SuiteScale::kTiny;
+  if (s == "small") return SuiteScale::kSmall;
+  if (s == "paper") return SuiteScale::kPaper;
+  throw invalid_argument_error("unknown suite scale '" + s +
+                               "' (expected tiny|small|paper)");
+}
+
+const char* suite_scale_name(SuiteScale s) {
+  switch (s) {
+    case SuiteScale::kTiny: return "tiny";
+    case SuiteScale::kSmall: return "small";
+    case SuiteScale::kPaper: return "paper";
+  }
+  return "?";
+}
+
+namespace {
+
+// Linear scale multiplier: grid dimensions grow by `lin`, nnz-type counts
+// by lin² (≈ the growth of a refined mesh).
+double linear_scale(SuiteScale s) {
+  switch (s) {
+    case SuiteScale::kTiny: return 0.40;
+    case SuiteScale::kSmall: return 1.0;
+    case SuiteScale::kPaper: return 1.65;
+  }
+  return 1.0;
+}
+
+index_t dim(double x) { return std::max<index_t>(4, static_cast<index_t>(x)); }
+std::size_t cnt(double x) {
+  return std::max<std::size_t>(16, static_cast<std::size_t>(x));
+}
+int rmat_scale_for(SuiteScale s, int small_scale) {
+  switch (s) {
+    case SuiteScale::kTiny: return small_scale - 3;
+    case SuiteScale::kSmall: return small_scale;
+    case SuiteScale::kPaper: return small_scale + 1;
+  }
+  return small_scale;
+}
+
+}  // namespace
+
+template <class V>
+Coo<V> build_suite_matrix(int id, SuiteScale scale) {
+  BSPMV_CHECK_MSG(id >= 1 && id <= 30, "suite matrix id must be 1..30");
+  const double s = linear_scale(scale);
+  const double q = s * s;  // quadratic (count) scale
+  const std::uint64_t seed = 0x5eed0000ULL + static_cast<std::uint64_t>(id);
+
+  switch (id) {
+    // ---- special -------------------------------------------------------
+    case 1:  // dense
+      return gen_dense<V>(dim(1000 * s), dim(1000 * s), seed);
+    case 2:  // random
+      return gen_uniform_random<V>(dim(60000 * q), dim(60000 * q),
+                                   cnt(1.3e6 * q), seed);
+
+    // ---- no underlying 2D/3D geometry ----------------------------------
+    case 3:  // cfd2: 2-D 9-pt pressure grid
+      return gen_stencil_2d<V>(dim(350 * s), dim(350 * s), 9, seed);
+    case 4:  // parabolic_fem: 2-D 5-pt diffusion
+      return gen_stencil_2d<V>(dim(480 * s), dim(480 * s), 5, seed);
+    case 5:  // Ga41As41H72: clustered chemistry rows
+      return gen_row_segments<V>(dim(45000 * q), dim(45000 * q), 4, 8, 3, 8,
+                                 seed);
+    case 6:  // ASIC_680k: short scattered circuit rows
+      return gen_short_rows<V>(dim(350000 * q), 0, 5, seed);
+    case 7:  // G3_circuit
+      return gen_short_rows<V>(dim(500000 * q), 0, 3, seed);
+    case 8:  // Hamrle3: broken diagonal fragments
+      return perturb_drop(
+          gen_multi_diagonal<V>(dim(420000 * q), {-2, -1, 0, 1, 2}, seed),
+          0.40, seed ^ 0xff);
+    case 9:  // rajat31: diagonal + scattered short rows
+      return combine(
+          gen_multi_diagonal<V>(dim(600000 * q), {-1, 0, 1}, seed),
+          perturb_drop(gen_short_rows<V>(dim(600000 * q), 0, 2, seed ^ 1),
+                       0.3, seed ^ 2));
+    case 10:  // cage15: mildly skewed graph
+      return gen_rmat<V>(rmat_scale_for(scale, 18), cnt(2.0e6 * q), 0.45,
+                         0.20, 0.20, seed);
+    case 11:  // wb-edu: web graph
+      return gen_rmat<V>(rmat_scale_for(scale, 19), cnt(2.2e6 * q), 0.57,
+                         0.19, 0.19, seed);
+    case 12:  // wikipedia: highly irregular link graph
+      return gen_rmat<V>(rmat_scale_for(scale, 18), cnt(1.8e6 * q), 0.60,
+                         0.15, 0.15, seed);
+    case 13:  // degme: LP with short horizontal runs
+      return gen_row_segments<V>(dim(90000 * q), dim(99000 * q), 2, 5, 2, 6,
+                                 seed);
+    case 14:  // rail4284: few long rows over a huge column space
+      return gen_row_segments<V>(dim(5000 * q), dim(200000 * q), 40, 60, 2, 5,
+                                 seed);
+    case 15:  // spal_004: long dense row segments (1-D blocking class)
+      return gen_row_segments<V>(dim(30000 * q), dim(60000 * q), 20, 30, 4, 7,
+                                 seed);
+    case 16:  // bone010: 3-D micro-FEM, 3 dof/node
+      return gen_blocked_band<V>(dim(20000 * q), 3, dim(2500 * q), 8, 0.90,
+                                 seed);
+
+    // ---- with underlying 2D/3D geometry --------------------------------
+    case 17:  // kkt_power: optimisation KKT system — blocks + scatter
+      return combine(
+          gen_blocked_band<V>(dim(150000 * q), 2, dim(5000 * q), 2, 0.50,
+                              seed),
+          gen_short_rows<V>(dim(300000 * q), 0, 2, seed ^ 1));
+    case 18:  // largebasis: narrow band of 4×4 blocks
+      return gen_blocked_band<V>(dim(60000 * q), 4, dim(50 * q), 1, 0.80,
+                                 seed);
+    case 19:  // TSOPF_RS: fully dense 8×8 blocks (every method wins here)
+      return gen_blocked_band<V>(dim(5000 * q), 8, dim(30 * q), 4, 1.0, seed);
+    case 20:  // af_shell10: shell FEM, 3 dof
+      return gen_blocked_band<V>(dim(45000 * q), 3, dim(300 * q), 4, 0.95,
+                                 seed);
+    case 21:  // audikw_1: wide-band 3-dof FEM
+      return gen_blocked_band<V>(dim(35000 * q), 3, dim(2000 * q), 8, 0.70,
+                                 seed);
+    case 22:  // F1: 3-dof FEM, moderate fill
+      return gen_blocked_band<V>(dim(40000 * q), 3, dim(1500 * q), 6, 0.60,
+                                 seed);
+    case 23:  // fdiff: 3-D 7-pt finite differences
+      return gen_stencil_3d<V>(dim(64 * std::cbrt(q)), dim(64 * std::cbrt(q)),
+                               dim(64 * std::cbrt(q)), 7, seed);
+    case 24:  // gearbox
+      return gen_blocked_band<V>(dim(30000 * q), 3, dim(800 * q), 5, 0.80,
+                                 seed);
+    case 25:  // inline_1
+      return gen_blocked_band<V>(dim(45000 * q), 3, dim(1200 * q), 5, 0.65,
+                                 seed);
+    case 26:  // ldoor
+      return gen_blocked_band<V>(dim(45000 * q), 3, dim(400 * q), 5, 0.75,
+                                 seed);
+    case 27:  // pwtk: wind tunnel, 6 dof/node
+      return gen_blocked_band<V>(dim(25000 * q), 6, dim(150 * q), 1, 0.90,
+                                 seed);
+    case 28: {  // thermal2: unstructured diffusion — latency-bound class
+      const index_t g = dim(60 * std::cbrt(q));
+      Coo<V> st = perturb_drop(gen_stencil_3d<V>(g, g, g, 7, seed), 0.30,
+                               seed ^ 0xab);
+      Coo<V> noise = gen_uniform_random<V>(st.rows(), st.cols(),
+                                           cnt(2.0e5 * q), seed ^ 0xcd);
+      return combine(std::move(st), noise);
+    }
+    case 29:  // nd24k: nearly-dense rows
+      return gen_row_segments<V>(dim(16000 * q), dim(16000 * q), 15, 25, 4, 9,
+                                 seed);
+    case 30:  // stomach: 3-D 27-pt organ model
+      return gen_stencil_3d<V>(dim(40 * std::cbrt(q)), dim(40 * std::cbrt(q)),
+                               dim(40 * std::cbrt(q)), 27, seed);
+  }
+  BSPMV_CHECK_MSG(false, "unreachable");
+  return Coo<V>(1, 1);
+}
+
+template <class V>
+Csr<V> build_suite_csr(int id, SuiteScale scale) {
+  return Csr<V>::from_coo(build_suite_matrix<V>(id, scale));
+}
+
+#define BSPMV_INST(V)                                  \
+  template Coo<V> build_suite_matrix(int, SuiteScale); \
+  template Csr<V> build_suite_csr(int, SuiteScale);
+BSPMV_INST(float)
+BSPMV_INST(double)
+#undef BSPMV_INST
+
+}  // namespace bspmv

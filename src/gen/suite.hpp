@@ -1,0 +1,50 @@
+// The 30-matrix evaluation suite (↔ Table I), substituted by synthetic
+// generators per structural class (see DESIGN.md §3–4).
+//
+// Ids, names, domains and the special/geometry split mirror the paper:
+// #1–#2 special (dense, random), #3–#16 no underlying 2D/3D geometry,
+// #17–#30 with 2D/3D geometry.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/formats/csr.hpp"
+
+namespace bspmv {
+
+struct SuiteMatrixInfo {
+  int id;              ///< 1..30, same ordering as the paper's Table I
+  std::string name;    ///< the paper matrix this entry substitutes
+  std::string domain;  ///< application domain label from Table I
+  bool special;        ///< #1 dense / #2 random
+  bool geometry;       ///< has an underlying 2D/3D geometry (#17–#30)
+};
+
+/// The catalogue, in Table I order.
+const std::vector<SuiteMatrixInfo>& suite_catalog();
+
+/// Linear size multiplier for the suite.
+///  - kTiny  : fast CI runs (ws ~1–4 MiB)
+///  - kSmall : default — every ws exceeds typical LLCs (~10–25 MiB)
+///  - kPaper : matches the paper's ≥25 MiB working sets
+enum class SuiteScale { kTiny, kSmall, kPaper };
+
+SuiteScale parse_suite_scale(const std::string& s);
+const char* suite_scale_name(SuiteScale s);
+
+/// Build suite matrix `id` (1..30) at the given scale. Deterministic.
+template <class V>
+Coo<V> build_suite_matrix(int id, SuiteScale scale);
+
+template <class V>
+Csr<V> build_suite_csr(int id, SuiteScale scale);
+
+#define BSPMV_DECL(V)                                       \
+  extern template Coo<V> build_suite_matrix(int, SuiteScale); \
+  extern template Csr<V> build_suite_csr(int, SuiteScale);
+BSPMV_DECL(float)
+BSPMV_DECL(double)
+#undef BSPMV_DECL
+
+}  // namespace bspmv

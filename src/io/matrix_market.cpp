@@ -1,0 +1,132 @@
+#include "src/io/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/macros.hpp"
+
+namespace bspmv {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+struct Header {
+  bool pattern = false;
+  bool symmetric = false;
+  bool skew = false;
+};
+
+Header parse_header(const std::string& line) {
+  std::istringstream is(line);
+  std::string banner, object, fmt, field, symmetry;
+  is >> banner >> object >> fmt >> field >> symmetry;
+  if (banner != "%%MatrixMarket")
+    throw parse_error("MatrixMarket: missing %%MatrixMarket banner");
+  if (lower(object) != "matrix")
+    throw parse_error("MatrixMarket: only 'matrix' objects supported");
+  if (lower(fmt) != "coordinate")
+    throw parse_error("MatrixMarket: only 'coordinate' format supported");
+
+  Header h;
+  const std::string f = lower(field);
+  if (f == "pattern") h.pattern = true;
+  else if (f != "real" && f != "integer" && f != "double")
+    throw parse_error("MatrixMarket: unsupported field '" + field + '\'');
+
+  const std::string s = lower(symmetry);
+  if (s == "symmetric") h.symmetric = true;
+  else if (s == "skew-symmetric") { h.symmetric = true; h.skew = true; }
+  else if (s != "general")
+    throw parse_error("MatrixMarket: unsupported symmetry '" + symmetry + '\'');
+  return h;
+}
+
+}  // namespace
+
+template <class V>
+Coo<V> parse_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line))
+    throw parse_error("MatrixMarket: empty input");
+  const Header h = parse_header(line);
+
+  // Skip comment lines.
+  do {
+    if (!std::getline(in, line))
+      throw parse_error("MatrixMarket: missing size line");
+  } while (!line.empty() && line[0] == '%');
+
+  long long rows = 0, cols = 0, entries = 0;
+  {
+    std::istringstream is(line);
+    if (!(is >> rows >> cols >> entries))
+      throw parse_error("MatrixMarket: malformed size line");
+  }
+  if (rows < 0 || cols < 0 || entries < 0)
+    throw parse_error("MatrixMarket: negative dimensions");
+
+  Coo<V> coo(static_cast<index_t>(rows), static_cast<index_t>(cols));
+  coo.reserve(static_cast<std::size_t>(h.symmetric ? 2 * entries : entries));
+
+  for (long long e = 0; e < entries; ++e) {
+    long long i = 0, j = 0;
+    double v = 1.0;
+    if (!(in >> i >> j))
+      throw parse_error("MatrixMarket: truncated entry list");
+    if (!h.pattern && !(in >> v))
+      throw parse_error("MatrixMarket: entry missing value");
+    if (i < 1 || i > rows || j < 1 || j > cols)
+      throw parse_error("MatrixMarket: entry index out of bounds");
+    const index_t r = static_cast<index_t>(i - 1);
+    const index_t c = static_cast<index_t>(j - 1);
+    coo.add(r, c, static_cast<V>(v));
+    if (h.symmetric && r != c)
+      coo.add(c, r, static_cast<V>(h.skew ? -v : v));
+  }
+  return coo;
+}
+
+template <class V>
+Coo<V> read_matrix_market(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw parse_error("cannot open '" + path + '\'');
+  return parse_matrix_market<V>(f);
+}
+
+template <class V>
+void write_matrix_market(const Coo<V>& a, std::ostream& out) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << "% written by blockspmv\n";
+  out << a.rows() << ' ' << a.cols() << ' ' << a.nnz() << '\n';
+  out.precision(17);
+  for (const auto& e : a.entries())
+    out << (e.row + 1) << ' ' << (e.col + 1) << ' '
+        << static_cast<double>(e.value) << '\n';
+}
+
+template <class V>
+void write_matrix_market(const Coo<V>& a, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw parse_error("cannot open '" + path + "' for writing");
+  write_matrix_market(a, f);
+  f.flush();
+  if (!f) throw parse_error("write to '" + path + "' failed");
+}
+
+#define BSPMV_INST(V)                                             \
+  template Coo<V> parse_matrix_market(std::istream&);             \
+  template Coo<V> read_matrix_market(const std::string&);         \
+  template void write_matrix_market(const Coo<V>&, std::ostream&); \
+  template void write_matrix_market(const Coo<V>&, const std::string&);
+BSPMV_INST(float)
+BSPMV_INST(double)
+#undef BSPMV_INST
+
+}  // namespace bspmv

@@ -1,0 +1,38 @@
+// Matrix Market (.mtx) coordinate-format I/O.
+//
+// The paper's suite comes from Tim Davis' collection, which is distributed
+// in this format; the reader lets users run every harness on the original
+// matrices when they have them. Supports real / integer / pattern fields
+// and general / symmetric / skew-symmetric symmetry (pattern entries get
+// value 1, symmetric entries are mirrored, diagonals not duplicated).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/formats/coo.hpp"
+
+namespace bspmv {
+
+template <class V>
+Coo<V> parse_matrix_market(std::istream& in);
+
+template <class V>
+Coo<V> read_matrix_market(const std::string& path);
+
+template <class V>
+void write_matrix_market(const Coo<V>& a, std::ostream& out);
+
+template <class V>
+void write_matrix_market(const Coo<V>& a, const std::string& path);
+
+#define BSPMV_DECL(V)                                      \
+  extern template Coo<V> parse_matrix_market(std::istream&); \
+  extern template Coo<V> read_matrix_market(const std::string&); \
+  extern template void write_matrix_market(const Coo<V>&, std::ostream&); \
+  extern template void write_matrix_market(const Coo<V>&, const std::string&);
+BSPMV_DECL(float)
+BSPMV_DECL(double)
+#undef BSPMV_DECL
+
+}  // namespace bspmv

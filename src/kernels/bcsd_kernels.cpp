@@ -1,0 +1,93 @@
+#include "src/kernels/bcsd_kernels.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "src/formats/block_shapes.hpp"
+#include "src/kernels/simd.hpp"
+
+namespace bspmv {
+namespace detail {
+
+template <class V, int B, bool Simd>
+void bcsd_spmv_range(const Bcsd<V>& a, index_t seg0, index_t seg1,
+                     const V* BSPMV_RESTRICT x, V* BSPMV_RESTRICT y) {
+  BSPMV_DBG_ASSERT(a.b() == B);
+  BSPMV_DBG_ASSERT(seg0 >= 0 && seg1 <= a.segments() && seg0 <= seg1);
+  const index_t* BSPMV_RESTRICT brow_ptr = a.brow_ptr().data();
+  const index_t* BSPMV_RESTRICT bcol_ind = a.bcol_ind().data();
+  const index_t* BSPMV_RESTRICT nfull = a.full_diags().data();
+  const V* BSPMV_RESTRICT bval = a.bval().data();
+  const index_t n = a.rows();
+  const index_t m = a.cols();
+  constexpr int w = simd_width<V>;
+
+  for (index_t s = seg0; s < seg1; ++s) {
+    const index_t base = s * B;
+    const index_t d0 = brow_ptr[s];
+    const index_t d1 = brow_ptr[s + 1];
+    const index_t dfull = d0 + nfull[s];
+
+    if (dfull > d0) {
+      // Fast path: every diagonal here spans rows [base, base+B) and
+      // columns [j0, j0+B) entirely inside the matrix.
+      V sum[B] = {};
+      for (index_t d = d0; d < dfull; ++d) {
+        const V* bv = bval + static_cast<std::size_t>(d) * B;
+        const V* xp = x + bcol_ind[d];
+        if constexpr (Simd && B % w == 0) {
+          for (int k = 0; k < B; k += w) {
+            simd_t<V> acc = simd_loadu(sum + k);
+            acc += simd_loadu(bv + k) * simd_loadu(xp + k);
+            simd_storeu(sum + k, acc);
+          }
+        } else {
+          for (int k = 0; k < B; ++k) sum[k] += bv[k] * xp[k];
+        }
+      }
+      for (int k = 0; k < B; ++k) y[base + k] += sum[k];
+    }
+
+    // Boundary diagonals: clamp the element range to the matrix.
+    for (index_t d = dfull; d < d1; ++d) {
+      const V* bv = bval + static_cast<std::size_t>(d) * B;
+      const long long j0 = bcol_ind[d];
+      const int kmin = static_cast<int>(std::max<long long>(0, -j0));
+      const int kmax = static_cast<int>(std::min<long long>(
+          {B, static_cast<long long>(n) - base,
+           static_cast<long long>(m) - j0}));
+      for (int k = kmin; k < kmax; ++k)
+        y[base + k] += bv[k] * x[j0 + k];
+    }
+  }
+}
+
+template <class V, bool Simd>
+struct BcsdTable {
+  std::array<BcsdKernelFn<V>, kMaxBlockElems> fn{};
+
+  constexpr BcsdTable() { fill<1>(); }
+
+ private:
+  template <int B>
+  constexpr void fill() {
+    fn[B - 1] = &bcsd_spmv_range<V, B, Simd>;
+    if constexpr (B < kMaxBlockElems) fill<B + 1>();
+  }
+};
+
+}  // namespace detail
+
+template <class V>
+BcsdKernelFn<V> bcsd_kernel(int b, bool simd) {
+  static constexpr detail::BcsdTable<V, false> kScalar{};
+  static constexpr detail::BcsdTable<V, true> kSimd{};
+  BSPMV_CHECK_MSG(b >= 1 && b <= kMaxBlockElems,
+                  "unsupported BCSD block length " + std::to_string(b));
+  return (simd ? kSimd.fn : kScalar.fn)[static_cast<std::size_t>(b - 1)];
+}
+
+template BcsdKernelFn<float> bcsd_kernel<float>(int, bool);
+template BcsdKernelFn<double> bcsd_kernel<double>(int, bool);
+
+}  // namespace bspmv

@@ -1,0 +1,25 @@
+// Block-specific BCSD (diagonal-block) multiplication kernels, scalar and
+// SIMD, one per diagonal length b <= 8.
+//
+// Fully in-range diagonals (a per-segment prefix, see Bcsd::full_diags())
+// run unchecked; boundary diagonals take a clamped scalar path. Kernels
+// accumulate into y over a segment range for the parallel driver.
+#pragma once
+
+#include "src/formats/bcsd.hpp"
+#include "src/util/macros.hpp"
+
+namespace bspmv {
+
+template <class V>
+using BcsdKernelFn = void (*)(const Bcsd<V>&, index_t seg0, index_t seg1,
+                              const V* x, V* y);
+
+/// Look up the specialised kernel for diagonal length b (1 <= b <= 8).
+template <class V>
+BcsdKernelFn<V> bcsd_kernel(int b, bool simd);
+
+extern template BcsdKernelFn<float> bcsd_kernel<float>(int, bool);
+extern template BcsdKernelFn<double> bcsd_kernel<double>(int, bool);
+
+}  // namespace bspmv

@@ -1,0 +1,5 @@
+#include "src/kernels/bcsr_kernels_impl.hpp"
+
+namespace bspmv {
+template BcsrKernelFn<float> bcsr_kernel<float>(BlockShape, bool);
+}  // namespace bspmv

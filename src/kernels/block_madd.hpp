@@ -1,0 +1,52 @@
+// Shared fixed-size block multiply-accumulate bodies, used by the BCSR
+// and UBCSR kernels (the two formats run the identical inner block
+// routine; only the addressing of the block's columns differs).
+#pragma once
+
+#include "src/kernels/simd.hpp"
+#include "src/util/macros.hpp"
+
+namespace bspmv::detail {
+
+/// One r×c block multiply-accumulate: sum[0..R) += bv(R×C, row-major) · x'.
+/// Scalar flavour — plain fully-unrolled FMA chain.
+template <class V, int R, int C>
+BSPMV_ALWAYS_INLINE void block_madd_scalar(const V* BSPMV_RESTRICT bv,
+                                           const V* BSPMV_RESTRICT xp,
+                                           V* BSPMV_RESTRICT sum) {
+  for (int r = 0; r < R; ++r)
+    for (int c = 0; c < C; ++c) sum[r] += bv[r * C + c] * xp[c];
+}
+
+/// SIMD flavour. Strategy by shape:
+///  - C a multiple of the vector width: vector dot-product along the block
+///    row (x and bval both load contiguously).
+///  - C == 1 and R a multiple of the width: vectorise down the block
+///    column — bval is contiguous in r, x is one broadcast scalar.
+///  - otherwise: unrolled scalar body (odd shapes vectorise poorly, which
+///    is exactly the block-choice sensitivity the paper discusses).
+template <class V, int R, int C>
+BSPMV_ALWAYS_INLINE void block_madd_simd(const V* BSPMV_RESTRICT bv,
+                                         const V* BSPMV_RESTRICT xp,
+                                         V* BSPMV_RESTRICT sum) {
+  constexpr int w = simd_width<V>;
+  if constexpr (C % w == 0) {
+    for (int r = 0; r < R; ++r) {
+      simd_t<V> acc = simd_zero<V>();
+      for (int c = 0; c < C; c += w)
+        acc += simd_loadu(bv + r * C + c) * simd_loadu(xp + c);
+      sum[r] += simd_hsum<V>(acc);
+    }
+  } else if constexpr (C == 1 && R % w == 0) {
+    const simd_t<V> xv = simd_broadcast(xp[0]);
+    for (int r = 0; r < R; r += w) {
+      simd_t<V> s = simd_loadu(sum + r);
+      s += simd_loadu(bv + r) * xv;
+      simd_storeu(sum + r, s);
+    }
+  } else {
+    block_madd_scalar<V, R, C>(bv, xp, sum);
+  }
+}
+
+}  // namespace bspmv::detail

@@ -1,0 +1,36 @@
+// CSR SpMV kernels (scalar and SIMD), the baseline the paper measures
+// every blocked format against.
+//
+// All kernels ACCUMULATE into y (y += A·x) over a row range so that (a)
+// decomposed formats can chain submatrix products and (b) the parallel
+// driver can hand disjoint row ranges to threads. Callers zero y first
+// for a plain product (the top-level spmv() API does this).
+#pragma once
+
+#include "src/formats/csr.hpp"
+
+namespace bspmv {
+
+/// y[row0..row1) += A[row0..row1) · x, plain scalar inner loop.
+template <class V>
+void csr_spmv_scalar(const Csr<V>& a, index_t row0, index_t row1, const V* x,
+                     V* y);
+
+/// SIMD variant: 16-byte vector accumulation over each row with a scalar
+/// tail. The gather of x stays scalar (SSE2 has no gather), matching how
+/// 2009-era "vectorised CSR" behaves — the speedup potential is small,
+/// which is exactly what the paper's Table II shows for CSR.
+template <class V>
+void csr_spmv_simd(const Csr<V>& a, index_t row0, index_t row1, const V* x,
+                   V* y);
+
+extern template void csr_spmv_scalar(const Csr<float>&, index_t, index_t,
+                                     const float*, float*);
+extern template void csr_spmv_scalar(const Csr<double>&, index_t, index_t,
+                                     const double*, double*);
+extern template void csr_spmv_simd(const Csr<float>&, index_t, index_t,
+                                   const float*, float*);
+extern template void csr_spmv_simd(const Csr<double>&, index_t, index_t,
+                                   const double*, double*);
+
+}  // namespace bspmv

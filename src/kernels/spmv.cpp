@@ -1,0 +1,83 @@
+#include "src/kernels/spmv.hpp"
+
+#include "src/kernels/bcsd_kernels.hpp"
+#include "src/kernels/bcsr_kernels.hpp"
+#include "src/kernels/csr_kernels.hpp"
+#include "src/kernels/ubcsr_kernels.hpp"
+#include "src/kernels/vbl_kernels.hpp"
+#include "src/kernels/vbr_kernels.hpp"
+
+namespace bspmv {
+
+template <class V>
+void spmv_add(const Csr<V>& a, const V* x, V* y, Impl impl) {
+  if (impl == Impl::kSimd)
+    csr_spmv_simd(a, 0, a.rows(), x, y);
+  else
+    csr_spmv_scalar(a, 0, a.rows(), x, y);
+}
+
+template <class V>
+void spmv_add(const Bcsr<V>& a, const V* x, V* y, Impl impl) {
+  bcsr_kernel<V>(a.shape(), impl == Impl::kSimd)(a, 0, a.block_rows(), x, y);
+}
+
+template <class V>
+void spmv_add(const Bcsd<V>& a, const V* x, V* y, Impl impl) {
+  bcsd_kernel<V>(a.b(), impl == Impl::kSimd)(a, 0, a.segments(), x, y);
+}
+
+template <class V>
+void spmv_add(const Vbl<V>& a, const V* x, V* y, Impl impl) {
+  if (impl == Impl::kSimd)
+    vbl_spmv_simd(a, x, y);
+  else
+    vbl_spmv_scalar(a, x, y);
+}
+
+template <class V>
+void spmv_add(const Vbr<V>& a, const V* x, V* y, Impl impl) {
+  if (impl == Impl::kSimd)
+    vbr_spmv_simd(a, x, y);
+  else
+    vbr_spmv_scalar(a, x, y);
+}
+
+template <class V>
+void spmv_add(const Ubcsr<V>& a, const V* x, V* y, Impl impl) {
+  ubcsr_kernel<V>(a.shape(), impl == Impl::kSimd)(a, 0, a.block_rows(), x, y);
+}
+
+template <class V>
+void spmv_add(const CsrDelta<V>& a, const V* x, V* y, Impl) {
+  csr_delta_spmv(a, x, y);
+}
+
+template <class V>
+void spmv_add(const BcsrDec<V>& a, const V* x, V* y, Impl impl) {
+  spmv_add(a.blocked(), x, y, impl);
+  spmv_add(a.remainder(), x, y, impl);
+}
+
+template <class V>
+void spmv_add(const BcsdDec<V>& a, const V* x, V* y, Impl impl) {
+  spmv_add(a.blocked(), x, y, impl);
+  spmv_add(a.remainder(), x, y, impl);
+}
+
+#define BSPMV_INSTANTIATE(V)                                    \
+  template void spmv_add(const Csr<V>&, const V*, V*, Impl);    \
+  template void spmv_add(const Bcsr<V>&, const V*, V*, Impl);   \
+  template void spmv_add(const Bcsd<V>&, const V*, V*, Impl);   \
+  template void spmv_add(const Vbl<V>&, const V*, V*, Impl);    \
+  template void spmv_add(const Vbr<V>&, const V*, V*, Impl);    \
+  template void spmv_add(const BcsrDec<V>&, const V*, V*, Impl); \
+  template void spmv_add(const BcsdDec<V>&, const V*, V*, Impl); \
+  template void spmv_add(const Ubcsr<V>&, const V*, V*, Impl);   \
+  template void spmv_add(const CsrDelta<V>&, const V*, V*, Impl);
+
+BSPMV_INSTANTIATE(float)
+BSPMV_INSTANTIATE(double)
+#undef BSPMV_INSTANTIATE
+
+}  // namespace bspmv

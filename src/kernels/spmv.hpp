@@ -1,0 +1,91 @@
+// Unified single-threaded SpMV front-end over every storage format.
+//
+// `spmv(A, x, y, impl)` computes y = A·x (zeroing y first);
+// `spmv_add(A, x, y, impl)` accumulates y += A·x, which is what the
+// decomposed formats chain internally. `x` must have A.cols() elements
+// and `y` A.rows() elements.
+#pragma once
+
+#include <algorithm>
+#include <string>
+#include <type_traits>
+
+#include "src/formats/bcsd.hpp"
+#include "src/formats/bcsr.hpp"
+#include "src/formats/csr.hpp"
+#include "src/formats/csr_delta.hpp"
+#include "src/formats/decomposed.hpp"
+#include "src/formats/ubcsr.hpp"
+#include "src/formats/vbl.hpp"
+#include "src/formats/vbr.hpp"
+
+namespace bspmv {
+
+/// Kernel implementation flavour — §V evaluates both for every fixed-size
+/// blocking method ("we also implemented vectorized versions").
+enum class Impl { kScalar, kSimd };
+
+inline const char* impl_name(Impl impl) {
+  return impl == Impl::kScalar ? "scalar" : "simd";
+}
+
+template <class V>
+void spmv_add(const Csr<V>& a, const V* x, V* y, Impl impl = Impl::kScalar);
+template <class V>
+void spmv_add(const Bcsr<V>& a, const V* x, V* y, Impl impl = Impl::kScalar);
+template <class V>
+void spmv_add(const Bcsd<V>& a, const V* x, V* y, Impl impl = Impl::kScalar);
+template <class V>
+void spmv_add(const Vbl<V>& a, const V* x, V* y, Impl impl = Impl::kScalar);
+template <class V>
+void spmv_add(const Vbr<V>& a, const V* x, V* y, Impl impl = Impl::kScalar);
+template <class V>
+void spmv_add(const BcsrDec<V>& a, const V* x, V* y,
+              Impl impl = Impl::kScalar);
+template <class V>
+void spmv_add(const BcsdDec<V>& a, const V* x, V* y,
+              Impl impl = Impl::kScalar);
+template <class V>
+void spmv_add(const Ubcsr<V>& a, const V* x, V* y, Impl impl = Impl::kScalar);
+/// CsrDelta decodes serially; the impl flag is accepted for API symmetry
+/// and ignored.
+template <class V>
+void spmv_add(const CsrDelta<V>& a, const V* x, V* y,
+              Impl impl = Impl::kScalar);
+
+/// y = A·x for any supported format.
+template <class Format, class V = typename std::decay_t<
+                            decltype(std::declval<Format>().val())>::value_type>
+void spmv(const Format& a, const V* x, V* y, Impl impl = Impl::kScalar) {
+  std::fill(y, y + a.rows(), V{0});
+  spmv_add(a, x, y, impl);
+}
+
+/// Overload for block formats whose value array is named bval().
+template <class V>
+void spmv(const Bcsr<V>& a, const V* x, V* y, Impl impl = Impl::kScalar) {
+  std::fill(y, y + a.rows(), V{0});
+  spmv_add(a, x, y, impl);
+}
+template <class V>
+void spmv(const Bcsd<V>& a, const V* x, V* y, Impl impl = Impl::kScalar) {
+  std::fill(y, y + a.rows(), V{0});
+  spmv_add(a, x, y, impl);
+}
+template <class V>
+void spmv(const BcsrDec<V>& a, const V* x, V* y, Impl impl = Impl::kScalar) {
+  std::fill(y, y + a.rows(), V{0});
+  spmv_add(a, x, y, impl);
+}
+template <class V>
+void spmv(const BcsdDec<V>& a, const V* x, V* y, Impl impl = Impl::kScalar) {
+  std::fill(y, y + a.rows(), V{0});
+  spmv_add(a, x, y, impl);
+}
+template <class V>
+void spmv(const Ubcsr<V>& a, const V* x, V* y, Impl impl = Impl::kScalar) {
+  std::fill(y, y + a.rows(), V{0});
+  spmv_add(a, x, y, impl);
+}
+
+}  // namespace bspmv

@@ -1,0 +1,25 @@
+// UBCSR block kernels: the same fully-unrolled block bodies as BCSR, but
+// the block's x-slice starts at an arbitrary column (bcol_ind stores the
+// column itself). Blocks near the right edge may poke past the matrix —
+// construction pads them with zeros and x is addressed only within
+// [j0, j0+c), which construction guarantees to stay in range (anchors are
+// nonzero columns and c-1 more; padding columns beyond cols() carry only
+// zero values, and their x loads are avoided by a checked tail path).
+#pragma once
+
+#include "src/formats/ubcsr.hpp"
+#include "src/util/macros.hpp"
+
+namespace bspmv {
+
+template <class V>
+using UbcsrKernelFn = void (*)(const Ubcsr<V>&, index_t br0, index_t br1,
+                               const V* x, V* y);
+
+template <class V>
+UbcsrKernelFn<V> ubcsr_kernel(BlockShape shape, bool simd);
+
+extern template UbcsrKernelFn<float> ubcsr_kernel<float>(BlockShape, bool);
+extern template UbcsrKernelFn<double> ubcsr_kernel<double>(BlockShape, bool);
+
+}  // namespace bspmv

@@ -1,0 +1,5 @@
+#include "src/kernels/ubcsr_kernels_impl.hpp"
+
+namespace bspmv {
+template UbcsrKernelFn<double> ubcsr_kernel<double>(BlockShape, bool);
+}  // namespace bspmv

@@ -1,0 +1,5 @@
+#include "src/kernels/ubcsr_kernels_impl.hpp"
+
+namespace bspmv {
+template UbcsrKernelFn<float> ubcsr_kernel<float>(BlockShape, bool);
+}  // namespace bspmv

@@ -1,0 +1,90 @@
+// Template bodies for the UBCSR block kernels; included by the per-type
+// instantiation units. Structure mirrors the BCSR kernels, with the block
+// column taken directly from bcol_ind (no ×c scaling) and the same
+// clamped right-edge path.
+#pragma once
+
+#include <array>
+
+#include "src/formats/block_shapes.hpp"
+#include "src/kernels/block_madd.hpp"
+#include "src/kernels/ubcsr_kernels.hpp"
+
+namespace bspmv {
+namespace detail {
+
+template <class V, int R, int C, bool Simd>
+void ubcsr_spmv_range(const Ubcsr<V>& a, index_t br0, index_t br1,
+                      const V* BSPMV_RESTRICT x, V* BSPMV_RESTRICT y) {
+  BSPMV_DBG_ASSERT(a.shape().r == R && a.shape().c == C);
+  BSPMV_DBG_ASSERT(br0 >= 0 && br1 <= a.block_rows() && br0 <= br1);
+  const index_t* BSPMV_RESTRICT brow_ptr = a.brow_ptr().data();
+  const index_t* BSPMV_RESTRICT bcol_ind = a.bcol_ind().data();
+  const V* BSPMV_RESTRICT bval = a.bval().data();
+  const index_t n = a.rows();
+  const index_t m = a.cols();
+
+  for (index_t br = br0; br < br1; ++br) {
+    V sum[R] = {};
+    const index_t b1 = brow_ptr[br + 1];
+    for (index_t blk = brow_ptr[br]; blk < b1; ++blk) {
+      const V* bv = bval + static_cast<std::size_t>(blk) * (R * C);
+      const index_t j0 = bcol_ind[blk];  // unaligned starting column
+      if (j0 + C <= m) {
+        if constexpr (Simd)
+          block_madd_simd<V, R, C>(bv, x + j0, sum);
+        else
+          block_madd_scalar<V, R, C>(bv, x + j0, sum);
+      } else {
+        for (int r = 0; r < R; ++r)
+          for (index_t cc = 0; j0 + cc < m; ++cc)
+            sum[r] += bv[r * C + cc] * x[j0 + cc];
+      }
+    }
+    const index_t row0 = br * R;
+    if (row0 + R <= n) {
+      for (int r = 0; r < R; ++r) y[row0 + r] += sum[r];
+    } else {
+      for (index_t r = 0; row0 + r < n; ++r) y[row0 + r] += sum[r];
+    }
+  }
+}
+
+template <class V, bool Simd>
+struct UbcsrTable {
+  std::array<std::array<UbcsrKernelFn<V>, kMaxBlockElems>, kMaxBlockElems>
+      fn{};
+
+  constexpr UbcsrTable() { fill_r<1>(); }
+
+ private:
+  template <int R>
+  constexpr void fill_r() {
+    fill_c<R, 1>();
+    if constexpr (R < kMaxBlockElems) fill_r<R + 1>();
+  }
+  template <int R, int C>
+  constexpr void fill_c() {
+    if constexpr (R * C <= kMaxBlockElems)
+      fn[R - 1][C - 1] = &ubcsr_spmv_range<V, R, C, Simd>;
+    if constexpr (C < kMaxBlockElems) fill_c<R, C + 1>();
+  }
+};
+
+}  // namespace detail
+
+template <class V>
+UbcsrKernelFn<V> ubcsr_kernel(BlockShape shape, bool simd) {
+  static constexpr detail::UbcsrTable<V, false> kScalar{};
+  static constexpr detail::UbcsrTable<V, true> kSimd{};
+  BSPMV_CHECK_MSG(shape.r >= 1 && shape.r <= kMaxBlockElems &&
+                      shape.c >= 1 && shape.c <= kMaxBlockElems &&
+                      shape.elems() <= kMaxBlockElems,
+                  "unsupported UBCSR block shape " + shape.to_string());
+  auto fn = (simd ? kSimd.fn : kScalar.fn)[static_cast<std::size_t>(
+      shape.r - 1)][static_cast<std::size_t>(shape.c - 1)];
+  BSPMV_DBG_ASSERT(fn != nullptr);
+  return fn;
+}
+
+}  // namespace bspmv

@@ -1,0 +1,73 @@
+#include "src/kernels/vbl_kernels.hpp"
+
+#include "src/kernels/simd.hpp"
+#include "src/util/macros.hpp"
+
+namespace bspmv {
+
+template <class V>
+void vbl_spmv_scalar(const Vbl<V>& a, const V* BSPMV_RESTRICT x,
+                     V* BSPMV_RESTRICT y) {
+  const index_t* BSPMV_RESTRICT row_ptr = a.row_ptr().data();
+  const index_t* BSPMV_RESTRICT bcol_ind = a.bcol_ind().data();
+  const blk_size_t* BSPMV_RESTRICT blk_size = a.blk_size().data();
+  const V* BSPMV_RESTRICT val = a.val().data();
+  const index_t n = a.rows();
+
+  std::size_t blk = 0;
+  for (index_t i = 0; i < n; ++i) {
+    V sum{0};
+    index_t k = row_ptr[i];
+    const index_t hi = row_ptr[i + 1];
+    while (k < hi) {
+      const V* BSPMV_RESTRICT xp = x + bcol_ind[blk];
+      const int size = blk_size[blk];
+      for (int t = 0; t < size; ++t) sum += val[k + t] * xp[t];
+      k += size;
+      ++blk;
+    }
+    y[i] += sum;
+  }
+  BSPMV_DBG_ASSERT(blk == a.blocks());
+}
+
+template <class V>
+void vbl_spmv_simd(const Vbl<V>& a, const V* BSPMV_RESTRICT x,
+                   V* BSPMV_RESTRICT y) {
+  const index_t* BSPMV_RESTRICT row_ptr = a.row_ptr().data();
+  const index_t* BSPMV_RESTRICT bcol_ind = a.bcol_ind().data();
+  const blk_size_t* BSPMV_RESTRICT blk_size = a.blk_size().data();
+  const V* BSPMV_RESTRICT val = a.val().data();
+  const index_t n = a.rows();
+  constexpr int w = simd_width<V>;
+
+  std::size_t blk = 0;
+  for (index_t i = 0; i < n; ++i) {
+    V sum{0};
+    index_t k = row_ptr[i];
+    const index_t hi = row_ptr[i + 1];
+    while (k < hi) {
+      const V* BSPMV_RESTRICT xp = x + bcol_ind[blk];
+      const int size = blk_size[blk];
+      int t = 0;
+      if (size >= w) {
+        simd_t<V> acc = simd_zero<V>();
+        for (; t + w <= size; t += w)
+          acc += simd_loadu(val + k + t) * simd_loadu(xp + t);
+        sum += simd_hsum<V>(acc);
+      }
+      for (; t < size; ++t) sum += val[k + t] * xp[t];
+      k += size;
+      ++blk;
+    }
+    y[i] += sum;
+  }
+  BSPMV_DBG_ASSERT(blk == a.blocks());
+}
+
+template void vbl_spmv_scalar(const Vbl<float>&, const float*, float*);
+template void vbl_spmv_scalar(const Vbl<double>&, const double*, double*);
+template void vbl_spmv_simd(const Vbl<float>&, const float*, float*);
+template void vbl_spmv_simd(const Vbl<double>&, const double*, double*);
+
+}  // namespace bspmv

@@ -1,0 +1,28 @@
+// 1D-VBL SpMV kernels.
+//
+// Blocks are consumed sequentially while walking rows: a row's blocks end
+// when the value cursor reaches row_ptr[i+1]. The paper found 1D-VBL
+// uncompetitive and did not parallelise it; we follow suit and expose only
+// whole-matrix kernels (still accumulating, for API uniformity).
+#pragma once
+
+#include "src/formats/vbl.hpp"
+
+namespace bspmv {
+
+/// y += A·x, scalar inner loop over each variable-length block.
+template <class V>
+void vbl_spmv_scalar(const Vbl<V>& a, const V* x, V* y);
+
+/// y += A·x, SIMD over each block's contiguous val/x runs (this is where
+/// 1D-VBL shines on long blocks, e.g. the dense matrix).
+template <class V>
+void vbl_spmv_simd(const Vbl<V>& a, const V* x, V* y);
+
+extern template void vbl_spmv_scalar(const Vbl<float>&, const float*, float*);
+extern template void vbl_spmv_scalar(const Vbl<double>&, const double*,
+                                     double*);
+extern template void vbl_spmv_simd(const Vbl<float>&, const float*, float*);
+extern template void vbl_spmv_simd(const Vbl<double>&, const double*, double*);
+
+}  // namespace bspmv

@@ -1,0 +1,81 @@
+#include "src/kernels/vbr_kernels.hpp"
+
+#include "src/kernels/simd.hpp"
+#include "src/util/macros.hpp"
+
+namespace bspmv {
+
+template <class V>
+void vbr_spmv_scalar(const Vbr<V>& a, const V* BSPMV_RESTRICT x,
+                     V* BSPMV_RESTRICT y) {
+  const index_t* BSPMV_RESTRICT rpntr = a.rpntr().data();
+  const index_t* BSPMV_RESTRICT cpntr = a.cpntr().data();
+  const index_t* BSPMV_RESTRICT brow_ptr = a.brow_ptr().data();
+  const index_t* BSPMV_RESTRICT bindx = a.bindx().data();
+  const index_t* BSPMV_RESTRICT bval_ptr = a.bval_ptr().data();
+  const V* BSPMV_RESTRICT val = a.val().data();
+
+  const index_t nbr = a.block_rows();
+  for (index_t br = 0; br < nbr; ++br) {
+    const index_t r0 = rpntr[br];
+    const index_t r1 = rpntr[br + 1];
+    for (index_t blk = brow_ptr[br]; blk < brow_ptr[br + 1]; ++blk) {
+      const index_t bc = bindx[blk];
+      const index_t c0 = cpntr[bc];
+      const index_t width = cpntr[bc + 1] - c0;
+      const V* BSPMV_RESTRICT bv = val + bval_ptr[blk];
+      const V* BSPMV_RESTRICT xp = x + c0;
+      for (index_t i = r0; i < r1; ++i) {
+        V sum{0};
+        for (index_t j = 0; j < width; ++j) sum += bv[j] * xp[j];
+        y[i] += sum;
+        bv += width;
+      }
+    }
+  }
+}
+
+template <class V>
+void vbr_spmv_simd(const Vbr<V>& a, const V* BSPMV_RESTRICT x,
+                   V* BSPMV_RESTRICT y) {
+  const index_t* BSPMV_RESTRICT rpntr = a.rpntr().data();
+  const index_t* BSPMV_RESTRICT cpntr = a.cpntr().data();
+  const index_t* BSPMV_RESTRICT brow_ptr = a.brow_ptr().data();
+  const index_t* BSPMV_RESTRICT bindx = a.bindx().data();
+  const index_t* BSPMV_RESTRICT bval_ptr = a.bval_ptr().data();
+  const V* BSPMV_RESTRICT val = a.val().data();
+  constexpr int w = simd_width<V>;
+
+  const index_t nbr = a.block_rows();
+  for (index_t br = 0; br < nbr; ++br) {
+    const index_t r0 = rpntr[br];
+    const index_t r1 = rpntr[br + 1];
+    for (index_t blk = brow_ptr[br]; blk < brow_ptr[br + 1]; ++blk) {
+      const index_t bc = bindx[blk];
+      const index_t c0 = cpntr[bc];
+      const index_t width = cpntr[bc + 1] - c0;
+      const V* BSPMV_RESTRICT bv = val + bval_ptr[blk];
+      const V* BSPMV_RESTRICT xp = x + c0;
+      for (index_t i = r0; i < r1; ++i) {
+        V sum{0};
+        index_t j = 0;
+        if (width >= w) {
+          simd_t<V> acc = simd_zero<V>();
+          for (; j + w <= width; j += w)
+            acc += simd_loadu(bv + j) * simd_loadu(xp + j);
+          sum += simd_hsum<V>(acc);
+        }
+        for (; j < width; ++j) sum += bv[j] * xp[j];
+        y[i] += sum;
+        bv += width;
+      }
+    }
+  }
+}
+
+template void vbr_spmv_scalar(const Vbr<float>&, const float*, float*);
+template void vbr_spmv_scalar(const Vbr<double>&, const double*, double*);
+template void vbr_spmv_simd(const Vbr<float>&, const float*, float*);
+template void vbr_spmv_simd(const Vbr<double>&, const double*, double*);
+
+}  // namespace bspmv

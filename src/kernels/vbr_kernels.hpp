@@ -1,0 +1,23 @@
+// VBR SpMV kernels (extension format).
+#pragma once
+
+#include "src/formats/vbr.hpp"
+
+namespace bspmv {
+
+/// y += A·x over the variable 2-D blocks; block dimensions come from the
+/// row/column partition vectors, so the inner loops are generic.
+template <class V>
+void vbr_spmv_scalar(const Vbr<V>& a, const V* x, V* y);
+
+/// y += A·x with SIMD along each block row segment (contiguous val and x).
+template <class V>
+void vbr_spmv_simd(const Vbr<V>& a, const V* x, V* y);
+
+extern template void vbr_spmv_scalar(const Vbr<float>&, const float*, float*);
+extern template void vbr_spmv_scalar(const Vbr<double>&, const double*,
+                                     double*);
+extern template void vbr_spmv_simd(const Vbr<float>&, const float*, float*);
+extern template void vbr_spmv_simd(const Vbr<double>&, const double*, double*);
+
+}  // namespace bspmv

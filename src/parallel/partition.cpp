@@ -1,0 +1,66 @@
+#include "src/parallel/partition.hpp"
+
+#include <algorithm>
+
+#include "src/util/macros.hpp"
+
+namespace bspmv {
+
+std::vector<index_t> balanced_partition(std::span<const std::size_t> weights,
+                                        int parts) {
+  BSPMV_CHECK_MSG(parts >= 1, "partition needs at least one part");
+  const std::size_t n = weights.size();
+  std::size_t total = 0;
+  for (std::size_t w : weights) total += w;
+
+  std::vector<index_t> bounds(static_cast<std::size_t>(parts) + 1, 0);
+  bounds.back() = static_cast<index_t>(n);
+
+  // Greedy prefix cuts at the ideal cumulative targets p·total/parts.
+  std::size_t cum = 0;
+  std::size_t unit = 0;
+  for (int p = 1; p < parts; ++p) {
+    const std::size_t target =
+        (total * static_cast<std::size_t>(p)) / static_cast<std::size_t>(parts);
+    while (unit < n && cum < target) cum += weights[unit++];
+    bounds[static_cast<std::size_t>(p)] = static_cast<index_t>(unit);
+  }
+  return bounds;
+}
+
+template <class V>
+std::vector<std::size_t> row_weights(const Csr<V>& a) {
+  std::vector<std::size_t> w(static_cast<std::size_t>(a.rows()));
+  for (index_t i = 0; i < a.rows(); ++i)
+    w[static_cast<std::size_t>(i)] = static_cast<std::size_t>(a.row_nnz(i));
+  return w;
+}
+
+template <class V>
+std::vector<std::size_t> block_row_weights(const Bcsr<V>& a) {
+  const auto& brow_ptr = a.brow_ptr();
+  const std::size_t elems = static_cast<std::size_t>(a.shape().elems());
+  std::vector<std::size_t> w(static_cast<std::size_t>(a.block_rows()));
+  for (std::size_t br = 0; br < w.size(); ++br)
+    w[br] = static_cast<std::size_t>(brow_ptr[br + 1] - brow_ptr[br]) * elems;
+  return w;
+}
+
+template <class V>
+std::vector<std::size_t> segment_weights(const Bcsd<V>& a) {
+  const auto& brow_ptr = a.brow_ptr();
+  const std::size_t b = static_cast<std::size_t>(a.b());
+  std::vector<std::size_t> w(static_cast<std::size_t>(a.segments()));
+  for (std::size_t s = 0; s < w.size(); ++s)
+    w[s] = static_cast<std::size_t>(brow_ptr[s + 1] - brow_ptr[s]) * b;
+  return w;
+}
+
+template std::vector<std::size_t> row_weights(const Csr<float>&);
+template std::vector<std::size_t> row_weights(const Csr<double>&);
+template std::vector<std::size_t> block_row_weights(const Bcsr<float>&);
+template std::vector<std::size_t> block_row_weights(const Bcsr<double>&);
+template std::vector<std::size_t> segment_weights(const Bcsd<float>&);
+template std::vector<std::size_t> segment_weights(const Bcsd<double>&);
+
+}  // namespace bspmv

@@ -1,0 +1,46 @@
+// Static load balancing for multithreaded SpMV — §V-A: "we have split the
+// input matrix row-wise ... such that each thread is assigned the same
+// number of nonzeros. Specifically, for the case of methods with padding,
+// we also accounted for the extra zero elements used for the padding."
+//
+// The unit of splitting is the format's natural row granule (rows for CSR,
+// block rows for BCSR, segments for BCSD) and the weight of a granule is
+// the number of stored values it contributes — including padding.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/formats/bcsd.hpp"
+#include "src/formats/bcsr.hpp"
+#include "src/formats/csr.hpp"
+
+namespace bspmv {
+
+/// Split granules [0, weights.size()) into `parts` contiguous ranges with
+/// near-equal total weight. Returns parts+1 boundaries (first 0, last
+/// weights.size()); every range is valid (possibly empty).
+std::vector<index_t> balanced_partition(std::span<const std::size_t> weights,
+                                        int parts);
+
+/// Per-row stored-value weights (CSR: row nnz).
+template <class V>
+std::vector<std::size_t> row_weights(const Csr<V>& a);
+
+/// Per-block-row weights including padding (blocks · r · c).
+template <class V>
+std::vector<std::size_t> block_row_weights(const Bcsr<V>& a);
+
+/// Per-segment weights including padding (diagonals · b).
+template <class V>
+std::vector<std::size_t> segment_weights(const Bcsd<V>& a);
+
+extern template std::vector<std::size_t> row_weights(const Csr<float>&);
+extern template std::vector<std::size_t> row_weights(const Csr<double>&);
+extern template std::vector<std::size_t> block_row_weights(const Bcsr<float>&);
+extern template std::vector<std::size_t> block_row_weights(const Bcsr<double>&);
+extern template std::vector<std::size_t> segment_weights(const Bcsd<float>&);
+extern template std::vector<std::size_t> segment_weights(const Bcsd<double>&);
+
+}  // namespace bspmv

@@ -1,0 +1,58 @@
+#include "src/profile/cache_info.hpp"
+
+#include <fstream>
+#include <string>
+
+namespace bspmv {
+
+namespace {
+
+// Parse "32K" / "4096K" / "8M" style sysfs size strings; 0 on failure.
+std::size_t parse_size(const std::string& s) {
+  if (s.empty()) return 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str()) return 0;
+  std::size_t mult = 1;
+  if (*end == 'K' || *end == 'k') mult = 1024;
+  else if (*end == 'M' || *end == 'm') mult = 1024 * 1024;
+  else if (*end == 'G' || *end == 'g') mult = 1024ull * 1024 * 1024;
+  return static_cast<std::size_t>(v) * mult;
+}
+
+std::string read_line(const std::string& path) {
+  std::ifstream f(path);
+  std::string line;
+  if (f) std::getline(f, line);
+  return line;
+}
+
+}  // namespace
+
+CacheInfo detect_cache_info() {
+  CacheInfo info;
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/index";
+  std::size_t max_size = 0;
+  bool found_any = false;
+
+  for (int idx = 0; idx < 8; ++idx) {
+    const std::string dir = base + std::to_string(idx) + "/";
+    const std::string type = read_line(dir + "type");
+    if (type.empty()) break;
+    const std::string level = read_line(dir + "level");
+    const std::size_t size = parse_size(read_line(dir + "size"));
+    if (size == 0) continue;
+    found_any = true;
+    if (level == "1" && (type == "Data" || type == "Unified"))
+      info.l1d_bytes = size;
+    if (level == "2" && (type == "Data" || type == "Unified"))
+      info.l2_bytes = size;
+    if (type == "Data" || type == "Unified")
+      max_size = std::max(max_size, size);
+  }
+  if (max_size > 0) info.llc_bytes = max_size;
+  info.detected = found_any;
+  return info;
+}
+
+}  // namespace bspmv

@@ -1,0 +1,23 @@
+// Runtime cache hierarchy detection.
+//
+// The profilers size their working sets off the real cache hierarchy: the
+// t_b profile needs a dense matrix *inside* L1 (§IV: "fits in the L1
+// cache") and the nof profile one that *exceeds* the last-level cache.
+// Sizes come from sysfs when available, with conservative fallbacks.
+#pragma once
+
+#include <cstddef>
+
+namespace bspmv {
+
+struct CacheInfo {
+  std::size_t l1d_bytes = 32 * 1024;        ///< L1 data cache size
+  std::size_t l2_bytes = 1024 * 1024;       ///< (private) L2 cache size
+  std::size_t llc_bytes = 8 * 1024 * 1024;  ///< last-level cache size
+  bool detected = false;                    ///< false => fallback values
+};
+
+/// Probe /sys/devices/system/cpu/cpu0/cache; falls back to 32 KiB / 8 MiB.
+CacheInfo detect_cache_info();
+
+}  // namespace bspmv

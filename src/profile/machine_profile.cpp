@@ -1,0 +1,106 @@
+#include "src/profile/machine_profile.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/util/macros.hpp"
+
+namespace bspmv {
+
+void MachineProfile::set_kernel(Precision p, const std::string& kernel_id,
+                                KernelProfile kp) {
+  (p == Precision::kSingle ? kernels_sp_ : kernels_dp_)[kernel_id] = kp;
+}
+
+const KernelProfile& MachineProfile::kernel(Precision p,
+                                            const std::string& kernel_id) const {
+  const auto& m = p == Precision::kSingle ? kernels_sp_ : kernels_dp_;
+  auto it = m.find(kernel_id);
+  BSPMV_CHECK_MSG(it != m.end(), "kernel '" + kernel_id + "' (" +
+                                     precision_name(p) +
+                                     ") missing from machine profile");
+  return it->second;
+}
+
+bool MachineProfile::has_kernel(Precision p,
+                                const std::string& kernel_id) const {
+  const auto& m = p == Precision::kSingle ? kernels_sp_ : kernels_dp_;
+  return m.count(kernel_id) != 0;
+}
+
+namespace {
+
+Json kernels_to_json(const std::map<std::string, KernelProfile>& m) {
+  Json::Object o;
+  for (const auto& [id, kp] : m) {
+    Json::Object e;
+    e["tb"] = kp.tb;
+    e["nof"] = kp.nof;
+    o[id] = Json(std::move(e));
+  }
+  return Json(std::move(o));
+}
+
+std::map<std::string, KernelProfile> kernels_from_json(const Json& j) {
+  std::map<std::string, KernelProfile> m;
+  for (const auto& [id, e] : j.as_object())
+    m[id] = KernelProfile{e.at("tb").as_number(), e.at("nof").as_number()};
+  return m;
+}
+
+}  // namespace
+
+Json MachineProfile::to_json() const {
+  Json j;
+  j["bandwidth_bps"] = bandwidth_bps;
+  j["read_bandwidth_bps"] = read_bandwidth_bps;
+  j["latency_seconds"] = latency_seconds;
+  j["effective_llc_bytes"] = effective_llc_bytes;
+  j["private_cache_bytes"] = private_cache_bytes;
+  j["description"] = description;
+  j["kernels_sp"] = kernels_to_json(kernels_sp_);
+  j["kernels_dp"] = kernels_to_json(kernels_dp_);
+  return j;
+}
+
+MachineProfile MachineProfile::from_json(const Json& j) {
+  MachineProfile p;
+  p.bandwidth_bps = j.at("bandwidth_bps").as_number();
+  p.read_bandwidth_bps = j.at("read_bandwidth_bps").as_number();
+  p.latency_seconds = j.at("latency_seconds").as_number();
+  if (j.contains("effective_llc_bytes"))
+    p.effective_llc_bytes = j.at("effective_llc_bytes").as_number();
+  if (j.contains("private_cache_bytes"))
+    p.private_cache_bytes = j.at("private_cache_bytes").as_number();
+  p.description = j.at("description").as_string();
+  p.kernels_sp_ = kernels_from_json(j.at("kernels_sp"));
+  p.kernels_dp_ = kernels_from_json(j.at("kernels_dp"));
+  return p;
+}
+
+void MachineProfile::save(const std::string& path) const {
+  std::ofstream f(path);
+  BSPMV_CHECK_MSG(static_cast<bool>(f), "cannot open '" + path + "' for writing");
+  f << to_json().dump(2) << '\n';
+  f.flush();
+  BSPMV_CHECK_MSG(static_cast<bool>(f), "write to '" + path + "' failed");
+}
+
+MachineProfile MachineProfile::load(const std::string& path) {
+  std::ifstream f(path);
+  BSPMV_CHECK_MSG(static_cast<bool>(f), "cannot open '" + path + '\'');
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return from_json(Json::parse(ss.str()));
+}
+
+std::optional<MachineProfile> MachineProfile::try_load(
+    const std::string& path) {
+  try {
+    return load(path);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace bspmv

@@ -1,0 +1,67 @@
+// Machine profile: every machine-dependent input of the performance
+// models, persisted as JSON so the (minutes-long) profiling runs once.
+//
+//  - BW       : effective memory bandwidth (STREAM triad, eq. 1)
+//  - t_b      : per-kernel block execution time, profiled on a dense
+//               matrix resident in L1 (eq. 2)
+//  - nof_b    : per-kernel non-overlapping factor, profiled on a dense
+//               matrix exceeding the LLC (eq. 4)
+//  - latency  : average memory latency (MEMLAT model extension)
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "src/formats/common.hpp"
+#include "src/util/json.hpp"
+
+namespace bspmv {
+
+/// Profiled parameters of one kernel (one block method + block + impl).
+struct KernelProfile {
+  double tb = 0.0;   ///< seconds per block, L1-resident dense profiling
+  double nof = 1.0;  ///< non-overlapping factor in [0, 1], eq. (4)
+};
+
+class MachineProfile {
+ public:
+  double bandwidth_bps = 0.0;       ///< STREAM triad bytes/second
+  double read_bandwidth_bps = 0.0;  ///< read-only bytes/second
+  double latency_seconds = 0.0;     ///< dependent-load miss latency
+  /// Effective last-level cache used by the profiler when sizing the nof
+  /// matrix (clamped on huge shared caches; set by the profiler).
+  double effective_llc_bytes = 32.0 * 1024 * 1024;
+  /// Private cache size (L2) — the MEMLAT model's threshold for how much
+  /// of the input vector enjoys cheap re-access.
+  double private_cache_bytes = 1024.0 * 1024;
+  std::string description;          ///< free-form provenance note
+
+  /// Register / overwrite a kernel's profile.
+  void set_kernel(Precision p, const std::string& kernel_id,
+                  KernelProfile kp);
+
+  /// Lookup; throws invalid_argument_error when the kernel was never
+  /// profiled (models refuse to guess).
+  const KernelProfile& kernel(Precision p, const std::string& kernel_id) const;
+
+  bool has_kernel(Precision p, const std::string& kernel_id) const;
+
+  const std::map<std::string, KernelProfile>& kernels(Precision p) const {
+    return p == Precision::kSingle ? kernels_sp_ : kernels_dp_;
+  }
+
+  Json to_json() const;
+  static MachineProfile from_json(const Json& j);
+
+  void save(const std::string& path) const;
+  static MachineProfile load(const std::string& path);
+  /// Load if `path` exists and parses; otherwise nullopt.
+  static std::optional<MachineProfile> try_load(const std::string& path);
+
+ private:
+  std::map<std::string, KernelProfile> kernels_sp_;
+  std::map<std::string, KernelProfile> kernels_dp_;
+};
+
+}  // namespace bspmv

@@ -1,0 +1,29 @@
+// Effective memory bandwidth and latency micro-benchmarks.
+//
+// The MEM model's BW parameter is "the effective memory bandwidth of the
+// system" measured STREAM-style (§V cites McCalpin's STREAM [11]); we
+// implement the triad kernel (a[i] = b[i] + s·c[i]) plus a read-only sum
+// used for sanity checks, and a dependent-load pointer chase that measures
+// memory latency for the MEMLAT model extension.
+#pragma once
+
+#include <cstddef>
+
+namespace bspmv {
+
+struct StreamOptions {
+  std::size_t array_bytes = 64 * 1024 * 1024;  ///< per array; >> LLC
+  int trials = 5;                              ///< best-of-k
+};
+
+/// STREAM triad bandwidth in bytes/second (3 arrays of traffic per pass).
+double stream_triad_bandwidth(const StreamOptions& opt = {});
+
+/// Read-only (sum reduction) bandwidth in bytes/second.
+double stream_read_bandwidth(const StreamOptions& opt = {});
+
+/// Average dependent-load latency (seconds) over a buffer exceeding the
+/// LLC — a random-permutation pointer chase defeats the prefetchers.
+double memory_latency_seconds(std::size_t buffer_bytes = 64 * 1024 * 1024);
+
+}  // namespace bspmv

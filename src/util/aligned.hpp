@@ -1,0 +1,51 @@
+// Cache-line/SIMD aligned storage.
+//
+// All value and index arrays in the storage formats use aligned_vector so
+// vectorised kernels can rely on 64-byte alignment of the array base.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <vector>
+
+namespace bspmv {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal standard allocator that over-aligns every allocation to
+/// `Alignment` bytes (C++17 aligned operator new).
+template <class T, std::size_t Alignment = kCacheLineBytes>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+  static constexpr std::align_val_t kAlign{Alignment};
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    if (n > std::numeric_limits<std::size_t>::max() / sizeof(T))
+      throw std::bad_alloc();
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlign));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept { ::operator delete(p, kAlign); }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// std::vector with 64-byte aligned storage.
+template <class T>
+using aligned_vector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace bspmv

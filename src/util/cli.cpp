@@ -1,0 +1,110 @@
+#include "src/util/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/util/macros.hpp"
+
+namespace bspmv {
+
+void CliParser::add_option(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  BSPMV_CHECK_MSG(!opts_.count(name), "duplicate option --" + name);
+  opts_[name] = Opt{default_value, help, /*is_flag=*/false, false};
+  order_.push_back(name);
+}
+
+void CliParser::add_flag(const std::string& name, const std::string& help) {
+  BSPMV_CHECK_MSG(!opts_.count(name), "duplicate flag --" + name);
+  opts_[name] = Opt{"", help, /*is_flag=*/true, false};
+  order_.push_back(name);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(help(argv[0]).c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = opts_.find(name);
+    if (it == opts_.end()) {
+      std::ostringstream os;
+      os << "unknown option --" << name << "; valid options:";
+      for (const auto& o : order_) os << " --" << o;
+      throw invalid_argument_error(os.str());
+    }
+    Opt& opt = it->second;
+    if (opt.is_flag) {
+      BSPMV_CHECK_MSG(!has_value, "flag --" + name + " takes no value");
+      opt.flag_set = true;
+    } else {
+      if (!has_value) {
+        BSPMV_CHECK_MSG(i + 1 < argc, "option --" + name + " needs a value");
+        value = argv[++i];
+      }
+      opt.value = std::move(value);
+    }
+  }
+  return true;
+}
+
+const std::string& CliParser::get(const std::string& name) const {
+  auto it = opts_.find(name);
+  BSPMV_CHECK_MSG(it != opts_.end() && !it->second.is_flag,
+                  "undeclared option --" + name);
+  return it->second.value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  const std::string& v = get(name);
+  char* end = nullptr;
+  const long long x = std::strtoll(v.c_str(), &end, 10);
+  BSPMV_CHECK_MSG(end && *end == '\0' && !v.empty(),
+                  "--" + name + " expects an integer, got '" + v + '\'');
+  return x;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string& v = get(name);
+  char* end = nullptr;
+  const double x = std::strtod(v.c_str(), &end);
+  BSPMV_CHECK_MSG(end && *end == '\0' && !v.empty(),
+                  "--" + name + " expects a number, got '" + v + '\'');
+  return x;
+}
+
+bool CliParser::get_flag(const std::string& name) const {
+  auto it = opts_.find(name);
+  BSPMV_CHECK_MSG(it != opts_.end() && it->second.is_flag,
+                  "undeclared flag --" + name);
+  return it->second.flag_set;
+}
+
+std::string CliParser::help(const std::string& program) const {
+  std::ostringstream os;
+  os << "Usage: " << program << " [options]\n";
+  for (const auto& name : order_) {
+    const Opt& o = opts_.at(name);
+    os << "  --" << name;
+    if (!o.is_flag) os << " <value> (default: " << o.value << ")";
+    os << "\n      " << o.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bspmv

@@ -1,0 +1,47 @@
+// Tiny command-line option parser shared by the bench/example binaries.
+//
+// Supports `--key value`, `--key=value` and boolean `--flag` forms plus
+// positional arguments; unknown options raise an error listing valid ones.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bspmv {
+
+class CliParser {
+ public:
+  /// Declare an option with a default value (also defines its help text).
+  void add_option(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  /// Declare a boolean flag (defaults to false).
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parse argv. Throws bspmv::invalid_argument_error on unknown/ill-formed
+  /// options. Returns false if --help was requested (help printed to stdout).
+  bool parse(int argc, const char* const* argv);
+
+  const std::string& get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string help(const std::string& program) const;
+
+ private:
+  struct Opt {
+    std::string value;
+    std::string help;
+    bool is_flag = false;
+    bool flag_set = false;
+  };
+  std::map<std::string, Opt> opts_;
+  std::vector<std::string> order_;  // declaration order for help output
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bspmv

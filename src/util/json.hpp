@@ -1,0 +1,70 @@
+// Minimal self-contained JSON value type, parser and writer.
+//
+// Used to persist machine profiles (measured bandwidth, per-kernel block
+// times and non-overlap factors) so expensive profiling runs once per
+// machine. Supports the full JSON grammar except \u escapes beyond ASCII.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace bspmv {
+
+/// A JSON document node. Object keys are kept sorted (std::map) so dumps
+/// are deterministic and diff-friendly.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(double d) : v_(d) {}
+  Json(int i) : v_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : v_(static_cast<double>(i)) {}
+  Json(std::uint64_t i) : v_(static_cast<double>(i)) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(Array a) : v_(std::move(a)) {}
+  Json(Object o) : v_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  /// Typed accessors; throw bspmv::parse_error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+  Array& as_array();
+  Object& as_object();
+
+  /// Object element access; creates members on mutable access.
+  Json& operator[](const std::string& key);
+  /// Const lookup; throws if missing.
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  /// Serialise. `indent < 0` gives compact single-line output.
+  std::string dump(int indent = 2) const;
+
+  /// Parse a complete JSON document; throws bspmv::parse_error.
+  static Json parse(const std::string& text);
+
+  friend bool operator==(const Json& a, const Json& b) { return a.v_ == b.v_; }
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+}  // namespace bspmv

@@ -1,0 +1,64 @@
+// Core assertion and attribute macros used throughout the library.
+//
+// BSPMV_CHECK is always on (construction-time validation of user input);
+// BSPMV_DBG_ASSERT compiles out in release builds and guards internal
+// invariants on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bspmv {
+
+/// Thrown when a matrix or format argument violates a documented precondition.
+class invalid_argument_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an input file (e.g. Matrix Market) is malformed.
+class parse_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "BSPMV_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw invalid_argument_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace bspmv
+
+// Always-on precondition check; throws bspmv::invalid_argument_error.
+#define BSPMV_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::bspmv::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define BSPMV_CHECK_MSG(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::bspmv::detail::throw_check_failure(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+// Debug-only internal invariant; free in release builds.
+#ifdef NDEBUG
+#define BSPMV_DBG_ASSERT(expr) ((void)0)
+#else
+#define BSPMV_DBG_ASSERT(expr) BSPMV_CHECK(expr)
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define BSPMV_RESTRICT __restrict__
+#define BSPMV_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define BSPMV_RESTRICT
+#define BSPMV_ALWAYS_INLINE inline
+#endif

@@ -1,0 +1,169 @@
+// Unit tests for the COO staging format and the CSR baseline.
+#include <gtest/gtest.h>
+
+#include "src/formats/csr.hpp"
+#include "src/kernels/csr_kernels.hpp"
+#include "src/kernels/spmv.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace bspmv {
+namespace {
+
+using bspmv::testing::check_against_reference;
+using bspmv::testing::random_coo;
+
+TEST(Coo, AddAndBoundsChecks) {
+  Coo<double> coo(3, 4);
+  coo.add(0, 0, 1.0);
+  coo.add(2, 3, 2.0);
+  EXPECT_EQ(coo.nnz(), 2u);
+  EXPECT_THROW(coo.add(3, 0, 1.0), invalid_argument_error);
+  EXPECT_THROW(coo.add(0, 4, 1.0), invalid_argument_error);
+  EXPECT_THROW(coo.add(-1, 0, 1.0), invalid_argument_error);
+}
+
+TEST(Coo, SortAndCombineSumsDuplicates) {
+  Coo<double> coo(2, 2);
+  coo.add(1, 1, 1.0);
+  coo.add(0, 0, 2.0);
+  coo.add(1, 1, 3.0);
+  coo.add(0, 1, 4.0);
+  coo.sort_and_combine();
+  ASSERT_EQ(coo.nnz(), 3u);
+  EXPECT_EQ(coo.entries()[0].row, 0);
+  EXPECT_EQ(coo.entries()[0].col, 0);
+  EXPECT_DOUBLE_EQ(coo.entries()[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(coo.entries()[1].value, 4.0);
+  EXPECT_DOUBLE_EQ(coo.entries()[2].value, 4.0);  // 1 + 3
+}
+
+TEST(Coo, ReferenceSpmvMatchesHandComputation) {
+  // [1 2; 0 3] * [10, 100] = [210, 300]
+  Coo<double> coo(2, 2);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 1, 2.0);
+  coo.add(1, 1, 3.0);
+  const double x[] = {10.0, 100.0};
+  double y[2];
+  coo.spmv_reference(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 210.0);
+  EXPECT_DOUBLE_EQ(y[1], 300.0);
+}
+
+TEST(Csr, FromCooBuildsCorrectArrays) {
+  Coo<double> coo(3, 3);
+  coo.add(0, 1, 1.0);
+  coo.add(1, 0, 2.0);
+  coo.add(1, 2, 3.0);
+  const Csr<double> a = Csr<double>::from_coo(std::move(coo));
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 3);
+  EXPECT_EQ(a.nnz(), 3u);
+  const aligned_vector<index_t> want_rp = {0, 1, 3, 3};
+  EXPECT_EQ(a.row_ptr(), want_rp);
+  EXPECT_EQ(a.row_nnz(0), 1);
+  EXPECT_EQ(a.row_nnz(1), 2);
+  EXPECT_EQ(a.row_nnz(2), 0);
+}
+
+TEST(Csr, ConstructorValidatesArrays) {
+  // row_ptr wrong length
+  EXPECT_THROW(Csr<double>(2, 2, {0, 1}, {0}, {1.0}), invalid_argument_error);
+  // row_ptr not ending at nnz
+  EXPECT_THROW(Csr<double>(2, 2, {0, 1, 2}, {0}, {1.0}),
+               invalid_argument_error);
+  // decreasing row_ptr
+  EXPECT_THROW(Csr<double>(2, 2, {0, 1, 0}, {0}, {1.0}),
+               invalid_argument_error);
+  // col out of range
+  EXPECT_THROW(Csr<double>(2, 2, {0, 1, 1}, {5}, {1.0}),
+               invalid_argument_error);
+  // valid
+  EXPECT_NO_THROW(Csr<double>(2, 2, {0, 1, 1}, {1}, {1.0}));
+}
+
+TEST(Csr, CooRoundTripPreservesEntries) {
+  Coo<double> coo = random_coo<double>(37, 41, 0.08, 11);
+  coo.sort_and_combine();
+  const auto entries_before = coo.entries();
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  Coo<double> back = a.to_coo();
+  back.sort_and_combine();
+  ASSERT_EQ(back.nnz(), entries_before.size());
+  for (std::size_t k = 0; k < entries_before.size(); ++k) {
+    EXPECT_EQ(back.entries()[k].row, entries_before[k].row);
+    EXPECT_EQ(back.entries()[k].col, entries_before[k].col);
+    EXPECT_DOUBLE_EQ(back.entries()[k].value, entries_before[k].value);
+  }
+}
+
+TEST(Csr, WorkingSetAccountsAllArrays) {
+  const Csr<double> a =
+      Csr<double>::from_coo(random_coo<double>(10, 12, 0.3, 3));
+  const std::size_t expect = a.nnz() * (8 + 4) + 11 * 4 + (10 + 12) * 8;
+  EXPECT_EQ(a.working_set_bytes(), expect);
+}
+
+using Types = ::testing::Types<float, double>;
+template <class V>
+class CsrSpmvTyped : public ::testing::Test {};
+TYPED_TEST_SUITE(CsrSpmvTyped, Types);
+
+TYPED_TEST(CsrSpmvTyped, ScalarMatchesReference) {
+  using V = TypeParam;
+  const Coo<V> coo = random_coo<V>(83, 91, 0.07, 21);
+  const Csr<V> a = Csr<V>::from_coo(coo);
+  check_against_reference<V>(
+      coo, [&](const V* x, V* y) { spmv(a, x, y, Impl::kScalar); },
+      "csr scalar");
+}
+
+TYPED_TEST(CsrSpmvTyped, SimdMatchesReference) {
+  using V = TypeParam;
+  const Coo<V> coo = random_coo<V>(83, 91, 0.07, 22);
+  const Csr<V> a = Csr<V>::from_coo(coo);
+  check_against_reference<V>(
+      coo, [&](const V* x, V* y) { spmv(a, x, y, Impl::kSimd); },
+      "csr simd");
+}
+
+TYPED_TEST(CsrSpmvTyped, RangeKernelCoversSubsetOnly) {
+  using V = TypeParam;
+  const Coo<V> coo = random_coo<V>(40, 40, 0.2, 23);
+  const Csr<V> a = Csr<V>::from_coo(coo);
+  const auto x = bspmv::testing::random_x<V>(40, 5);
+  aligned_vector<V> full(40, V{0}), part(40, V{0});
+  csr_spmv_scalar(a, 0, 40, x.data(), full.data());
+  csr_spmv_scalar(a, 10, 30, x.data(), part.data());
+  for (index_t i = 0; i < 40; ++i) {
+    if (i >= 10 && i < 30)
+      EXPECT_EQ(part[static_cast<std::size_t>(i)],
+                full[static_cast<std::size_t>(i)]);
+    else
+      EXPECT_EQ(part[static_cast<std::size_t>(i)], V{0});
+  }
+}
+
+TYPED_TEST(CsrSpmvTyped, EmptyRowsAndEmptyMatrix) {
+  using V = TypeParam;
+  // Matrix with all-empty rows.
+  Coo<V> coo(5, 5);
+  const Csr<V> a = Csr<V>::from_coo(coo);
+  const auto x = bspmv::testing::random_x<V>(5, 1);
+  aligned_vector<V> y(5, V{7});
+  spmv(a, x.data(), y.data());
+  for (const V& v : y) EXPECT_EQ(v, V{0});
+}
+
+TEST(Csr, HandlesSingleElementMatrix) {
+  Coo<double> coo(1, 1);
+  coo.add(0, 0, 5.0);
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  const double x[] = {3.0};
+  double y[1];
+  spmv(a, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 15.0);
+}
+
+}  // namespace
+}  // namespace bspmv

@@ -1,0 +1,144 @@
+// Decomposed format tests: the split must be exact (blocked + remainder
+// == original), the blocked part must be padding-free, and the chained
+// kernels must match the reference.
+#include <gtest/gtest.h>
+
+#include "src/formats/decomposed.hpp"
+#include "src/kernels/spmv.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace bspmv {
+namespace {
+
+using bspmv::testing::check_against_reference;
+using bspmv::testing::random_blocky_coo;
+using bspmv::testing::random_coo;
+
+TEST(BcsrDec, BlockedPartIsPaddingFree) {
+  const Csr<double> a = Csr<double>::from_coo(
+      random_blocky_coo<double>(60, 60, 3, 0.3, 0.85, 1));
+  for (BlockShape shape : bcsr_shapes()) {
+    const BcsrDec<double> m = BcsrDec<double>::from_csr(a, shape);
+    EXPECT_EQ(m.blocked().padding(), 0u) << shape.to_string();
+    EXPECT_EQ(m.blocked().nnz() + m.remainder().nnz(), a.nnz())
+        << shape.to_string();
+  }
+}
+
+TEST(BcsrDec, SplitReassemblesToOriginal) {
+  Coo<double> coo = random_blocky_coo<double>(48, 48, 4, 0.3, 0.9, 2);
+  coo.sort_and_combine();
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  const BcsrDec<double> m = BcsrDec<double>::from_csr(a, BlockShape{4, 2});
+  Coo<double> back = m.to_coo();
+  back.sort_and_combine();
+  ASSERT_EQ(back.nnz(), coo.nnz());
+  for (std::size_t k = 0; k < coo.nnz(); ++k) {
+    EXPECT_EQ(back.entries()[k].row, coo.entries()[k].row);
+    EXPECT_EQ(back.entries()[k].col, coo.entries()[k].col);
+    EXPECT_DOUBLE_EQ(back.entries()[k].value, coo.entries()[k].value);
+  }
+}
+
+TEST(BcsrDec, FullyBlockyMatrixLeavesEmptyRemainder) {
+  // All 2x2 blocks full -> remainder must be empty.
+  const Coo<double> coo = random_blocky_coo<double>(32, 32, 2, 0.4, 1.01, 3);
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  const BcsrDec<double> m = BcsrDec<double>::from_csr(a, BlockShape{2, 2});
+  EXPECT_EQ(m.remainder().nnz(), 0u);
+  EXPECT_EQ(m.blocked().nnz(), a.nnz());
+}
+
+TEST(BcsrDec, FullyIrregularMatrixLeavesEmptyBlockedPart) {
+  // Isolated entries, one per 4x4 block region -> no full 2x2 block.
+  Coo<double> coo(32, 32);
+  for (index_t i = 0; i < 32; i += 4) coo.add(i, i, 1.0);
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  const BcsrDec<double> m = BcsrDec<double>::from_csr(a, BlockShape{2, 2});
+  EXPECT_EQ(m.blocked().blocks(), 0u);
+  EXPECT_EQ(m.remainder().nnz(), a.nnz());
+}
+
+TEST(BcsdDec, BlockedPartIsPaddingFree) {
+  Coo<double> coo(60, 60);
+  Xoshiro256 rng(4);
+  for (index_t i = 0; i < 60; ++i) {
+    coo.add(i, i, 1.0);
+    if (i + 3 < 60 && rng.uniform() < 0.5) coo.add(i, i + 3, 2.0);
+  }
+  coo.sort_and_combine();
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  for (int b : bcsd_sizes()) {
+    const BcsdDec<double> m = BcsdDec<double>::from_csr(a, b);
+    EXPECT_EQ(m.blocked().padding(), 0u) << "b=" << b;
+    EXPECT_EQ(m.blocked().nnz() + m.remainder().nnz(), a.nnz()) << "b=" << b;
+  }
+}
+
+struct DecCase {
+  int shape_or_b;  // index into bcsr_shapes() or the b value
+  bool bcsd;
+  bool simd;
+};
+
+class DecKernels : public ::testing::TestWithParam<DecCase> {};
+
+TEST_P(DecKernels, MatchesReference) {
+  const auto [p, is_bcsd, simd] = GetParam();
+  const Impl impl = simd ? Impl::kSimd : Impl::kScalar;
+  const Coo<double> coo = random_blocky_coo<double>(59, 53, 3, 0.3, 0.8, 11);
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  if (is_bcsd) {
+    const BcsdDec<double> m = BcsdDec<double>::from_csr(a, p);
+    check_against_reference<double>(
+        coo, [&](const double* x, double* y) { spmv(m, x, y, impl); },
+        "bcsd_dec b=" + std::to_string(p));
+  } else {
+    const BlockShape shape = bcsr_shapes()[static_cast<std::size_t>(p)];
+    const BcsrDec<double> m = BcsrDec<double>::from_csr(a, shape);
+    check_against_reference<double>(
+        coo, [&](const double* x, double* y) { spmv(m, x, y, impl); },
+        "bcsr_dec " + shape.to_string());
+  }
+}
+
+std::vector<DecCase> all_dec_cases() {
+  std::vector<DecCase> cases;
+  for (std::size_t i = 0; i < bcsr_shapes().size(); ++i) {
+    cases.push_back({static_cast<int>(i), false, false});
+    cases.push_back({static_cast<int>(i), false, true});
+  }
+  for (int b : bcsd_sizes()) {
+    cases.push_back({b, true, false});
+    cases.push_back({b, true, true});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, DecKernels,
+                         ::testing::ValuesIn(all_dec_cases()));
+
+TEST(DecKernels, FloatMatchesReference) {
+  const Coo<float> coo = random_blocky_coo<float>(44, 52, 2, 0.35, 0.85, 13);
+  const Csr<float> a = Csr<float>::from_coo(coo);
+  const BcsrDec<float> m1 = BcsrDec<float>::from_csr(a, BlockShape{2, 2});
+  check_against_reference<float>(
+      coo, [&](const float* x, float* y) { spmv(m1, x, y, Impl::kSimd); },
+      "bcsr_dec float");
+  const BcsdDec<float> m2 = BcsdDec<float>::from_csr(a, 4);
+  check_against_reference<float>(
+      coo, [&](const float* x, float* y) { spmv(m2, x, y, Impl::kScalar); },
+      "bcsd_dec float");
+}
+
+TEST(Dec, WorkingSetCountsVectorsOnce) {
+  const Csr<double> a = Csr<double>::from_coo(
+      random_blocky_coo<double>(40, 40, 2, 0.3, 0.9, 17));
+  const BcsrDec<double> m = BcsrDec<double>::from_csr(a, BlockShape{2, 2});
+  const std::size_t sum_parts =
+      m.blocked().working_set_bytes() + m.remainder().working_set_bytes();
+  EXPECT_EQ(m.working_set_bytes(), sum_parts - (40 + 40) * 8);
+}
+
+}  // namespace
+}  // namespace bspmv

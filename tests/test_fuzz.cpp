@@ -1,0 +1,168 @@
+// Deterministic pseudo-fuzz of the two text parsers (JSON, Matrix
+// Market): random well-formed documents must round-trip, and random
+// garbage/truncations must raise parse_error — never crash or hang.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "src/io/matrix_market.hpp"
+#include "src/util/json.hpp"
+#include "src/util/macros.hpp"
+#include "src/util/prng.hpp"
+
+namespace bspmv {
+namespace {
+
+// ---------------------------------------------------------- JSON gen ----
+
+Json random_json(Xoshiro256& rng, int depth) {
+  const std::uint64_t kind = rng.below(depth <= 0 ? 4 : 6);
+  switch (kind) {
+    case 0: return Json(nullptr);
+    case 1: return Json(rng.uniform() < 0.5);
+    case 2: {
+      // Mix of integers, negatives and exponent-bearing doubles.
+      const double mag = std::ldexp(rng.uniform(), static_cast<int>(rng.below(60)));
+      return Json(rng.uniform() < 0.5 ? -mag : mag);
+    }
+    case 3: {
+      std::string s;
+      const auto len = rng.below(12);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        // Printable ASCII plus escapes-needing characters.
+        const char alphabet[] = "ab\"\\\n\tz 01{}[],:";
+        s += alphabet[rng.below(sizeof(alphabet) - 1)];
+      }
+      return Json(std::move(s));
+    }
+    case 4: {
+      Json::Array arr;
+      const auto len = rng.below(5);
+      for (std::uint64_t i = 0; i < len; ++i)
+        arr.push_back(random_json(rng, depth - 1));
+      return Json(std::move(arr));
+    }
+    default: {
+      Json::Object obj;
+      const auto len = rng.below(5);
+      for (std::uint64_t i = 0; i < len; ++i)
+        obj["k" + std::to_string(rng.below(100))] = random_json(rng, depth - 1);
+      return Json(std::move(obj));
+    }
+  }
+}
+
+TEST(FuzzJson, RandomDocumentsRoundTrip) {
+  Xoshiro256 rng(0xf022);
+  for (int iter = 0; iter < 300; ++iter) {
+    const Json doc = random_json(rng, 4);
+    for (int indent : {-1, 2}) {
+      const Json back = Json::parse(doc.dump(indent));
+      ASSERT_EQ(back, doc) << "iter " << iter;
+    }
+  }
+}
+
+TEST(FuzzJson, GarbageNeverCrashes) {
+  Xoshiro256 rng(0xdead);
+  const char alphabet[] = "{}[]\",:0123456789.eE+-truefalsn \n\t\\x";
+  int parsed = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string s;
+    const auto len = rng.below(40);
+    for (std::uint64_t i = 0; i < len; ++i)
+      s += alphabet[rng.below(sizeof(alphabet) - 1)];
+    try {
+      (void)Json::parse(s);
+      ++parsed;  // occasionally the garbage is valid JSON — fine
+    } catch (const parse_error&) {
+    }
+  }
+  // Sanity: the fuzz isn't accidentally always-valid.
+  EXPECT_LT(parsed, 1500);
+}
+
+TEST(FuzzJson, TruncationsOfValidDocsAreHandled) {
+  const std::string doc =
+      R"({"a": [1, 2.5, "x\"y"], "b": {"c": true, "d": null}})";
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    try {
+      (void)Json::parse(doc.substr(0, len));
+    } catch (const parse_error&) {
+    }
+  }
+  SUCCEED();  // reaching here without crash/hang is the property
+}
+
+// -------------------------------------------------- Matrix Market gen ----
+
+TEST(FuzzMatrixMarket, RandomValidFilesRoundTrip) {
+  Xoshiro256 rng(0x3141);
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto n = static_cast<index_t>(1 + rng.below(30));
+    const auto m = static_cast<index_t>(1 + rng.below(30));
+    Coo<double> coo(n, m);
+    const auto nnz = rng.below(60);
+    for (std::uint64_t k = 0; k < nnz; ++k)
+      coo.add(static_cast<index_t>(rng.below(static_cast<std::uint64_t>(n))),
+              static_cast<index_t>(rng.below(static_cast<std::uint64_t>(m))),
+              rng.uniform() * 2 - 1);
+    coo.sort_and_combine();
+
+    std::ostringstream out;
+    write_matrix_market(coo, out);
+    std::istringstream in(out.str());
+    Coo<double> back = parse_matrix_market<double>(in);
+    back.sort_and_combine();
+    ASSERT_EQ(back.nnz(), coo.nnz()) << "iter " << iter;
+  }
+}
+
+TEST(FuzzMatrixMarket, MutatedFilesNeverCrash) {
+  Coo<double> coo(5, 5);
+  coo.add(0, 0, 1.0);
+  coo.add(3, 4, -2.0);
+  std::ostringstream out;
+  write_matrix_market(coo, out);
+  const std::string base = out.str();
+
+  Xoshiro256 rng(0x777);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string s = base;
+    // 1-3 random single-character mutations.
+    const auto muts = 1 + rng.below(3);
+    for (std::uint64_t j = 0; j < muts; ++j) {
+      const auto pos = rng.below(s.size());
+      s[pos] = static_cast<char>(32 + rng.below(95));
+    }
+    std::istringstream in(s);
+    try {
+      (void)parse_matrix_market<double>(in);
+    } catch (const parse_error&) {
+    } catch (const invalid_argument_error&) {
+      // e.g. a mutated dimension shrank the matrix below an entry index
+    }
+  }
+  SUCCEED();
+}
+
+TEST(FuzzMatrixMarket, TruncationsAreHandled) {
+  Coo<double> coo(4, 4);
+  for (index_t i = 0; i < 4; ++i) coo.add(i, i, 1.0 + i);
+  std::ostringstream out;
+  write_matrix_market(coo, out);
+  const std::string base = out.str();
+  for (std::size_t len = 0; len < base.size(); ++len) {
+    std::istringstream in(base.substr(0, len));
+    try {
+      (void)parse_matrix_market<double>(in);
+    } catch (const parse_error&) {
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace bspmv

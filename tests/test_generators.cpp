@@ -1,0 +1,154 @@
+// Generator tests: determinism, structural properties of each class.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/util/macros.hpp"
+#include "src/formats/csr.hpp"
+#include "src/formats/stats.hpp"
+#include "src/gen/generators.hpp"
+
+namespace bspmv {
+namespace {
+
+template <class V>
+bool same_structure(const Coo<V>& a, const Coo<V>& b) {
+  if (a.nnz() != b.nnz()) return false;
+  for (std::size_t k = 0; k < a.nnz(); ++k) {
+    if (a.entries()[k].row != b.entries()[k].row ||
+        a.entries()[k].col != b.entries()[k].col ||
+        a.entries()[k].value != b.entries()[k].value)
+      return false;
+  }
+  return true;
+}
+
+TEST(Generators, DeterministicPerSeed) {
+  EXPECT_TRUE(same_structure(gen_uniform_random<double>(50, 50, 400, 1),
+                             gen_uniform_random<double>(50, 50, 400, 1)));
+  EXPECT_FALSE(same_structure(gen_uniform_random<double>(50, 50, 400, 1),
+                              gen_uniform_random<double>(50, 50, 400, 2)));
+  EXPECT_TRUE(same_structure(gen_rmat<double>(8, 900, 0.5, 0.2, 0.2, 3),
+                             gen_rmat<double>(8, 900, 0.5, 0.2, 0.2, 3)));
+}
+
+TEST(Generators, DenseIsFullyPopulated) {
+  const Coo<double> d = gen_dense<double>(13, 17, 1);
+  EXPECT_EQ(d.nnz(), 13u * 17u);
+  for (const auto& e : d.entries()) EXPECT_GT(e.value, 0.0);
+}
+
+TEST(Generators, Stencil2dInteriorRowCounts) {
+  const Coo<double> s5 = gen_stencil_2d<double>(10, 10, 5, 1);
+  const Coo<double> s9 = gen_stencil_2d<double>(10, 10, 9, 1);
+  const Csr<double> a5 = Csr<double>::from_coo(s5);
+  const Csr<double> a9 = Csr<double>::from_coo(s9);
+  // Interior point (5,5) -> row 55 has exactly 5 / 9 entries.
+  EXPECT_EQ(a5.row_nnz(55), 5);
+  EXPECT_EQ(a9.row_nnz(55), 9);
+  // Corner row 0: 3 entries (5-pt) / 4 entries (9-pt).
+  EXPECT_EQ(a5.row_nnz(0), 3);
+  EXPECT_EQ(a9.row_nnz(0), 4);
+}
+
+TEST(Generators, Stencil3dInteriorRowCounts) {
+  const Csr<double> a7 =
+      Csr<double>::from_coo(gen_stencil_3d<double>(6, 6, 6, 7, 1));
+  const Csr<double> a27 =
+      Csr<double>::from_coo(gen_stencil_3d<double>(6, 6, 6, 27, 1));
+  const index_t interior = (3 * 6 + 3) * 6 + 3;  // (3,3,3)
+  EXPECT_EQ(a7.row_nnz(interior), 7);
+  EXPECT_EQ(a27.row_nnz(interior), 27);
+}
+
+TEST(Generators, BlockedBandHasHighBlockFill) {
+  // With fill = 1 every coupling is a full dense block, so the matching
+  // BCSR shape pads almost nothing.
+  const Coo<double> coo = gen_blocked_band<double>(100, 3, 20, 3, 1.0, 7);
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  // 3x1 tiles the generator's 3x3 dense couplings exactly.
+  const BlockStats st = bcsr_stats(a, BlockShape{3, 1});
+  EXPECT_GT(st.fill(), 0.9);
+  EXPECT_EQ(a.rows(), 300);
+}
+
+TEST(Generators, BlockedBandRespectsBandwidth) {
+  const Coo<double> coo = gen_blocked_band<double>(200, 2, 10, 4, 0.8, 9);
+  for (const auto& e : coo.entries())
+    EXPECT_LE(std::abs(e.row / 2 - e.col / 2), 10);
+}
+
+TEST(Generators, RmatIsSkewed) {
+  // With strong a-corner weight, low-index vertices must dominate.
+  const Coo<double> g = gen_rmat<double>(10, 5000, 0.6, 0.15, 0.15, 11);
+  const index_t n = 1 << 10;
+  std::size_t low = 0;
+  for (const auto& e : g.entries())
+    if (e.row < n / 4) ++low;
+  EXPECT_GT(static_cast<double>(low) / static_cast<double>(g.nnz()), 0.4);
+}
+
+TEST(Generators, ShortRowsBounded) {
+  const Coo<double> coo = gen_short_rows<double>(300, 1, 4, 13);
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    EXPECT_GE(a.row_nnz(i), 1);         // diagonal survives dedup
+    EXPECT_LE(a.row_nnz(i), 5);         // diag + <= 4 extras
+  }
+}
+
+TEST(Generators, RowSegmentsProduceRuns) {
+  const Coo<double> coo = gen_row_segments<double>(50, 400, 3, 3, 6, 6, 15);
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  // Average 1D-VBL block must be much longer than 1 (runs of 6, some
+  // merging/overlap allowed).
+  const double avg_block = static_cast<double>(a.nnz()) /
+                           static_cast<double>(vbl_block_count(a));
+  EXPECT_GT(avg_block, 3.0);
+}
+
+TEST(Generators, MultiDiagonalExactCounts) {
+  const Coo<double> coo = gen_multi_diagonal<double>(64, {0, 1, -2}, 17);
+  // offsets 0: 64, 1: 63, -2: 62 entries.
+  EXPECT_EQ(coo.nnz(), 64u + 63u + 62u);
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  const BlockStats st = bcsd_stats(a, 4);
+  EXPECT_GT(st.fill(), 0.9);  // diagonals are BCSD-perfect
+}
+
+TEST(Generators, CombineUnionsPatterns) {
+  Coo<double> a = gen_multi_diagonal<double>(32, {0}, 1);
+  const Coo<double> b = gen_multi_diagonal<double>(32, {1}, 2);
+  const Coo<double> u = combine(std::move(a), b);
+  EXPECT_EQ(u.nnz(), 32u + 31u);
+}
+
+TEST(Generators, CombineRejectsDimensionMismatch) {
+  Coo<double> a(4, 4);
+  const Coo<double> b(4, 5);
+  EXPECT_THROW(combine(std::move(a), b), invalid_argument_error);
+}
+
+TEST(Generators, PerturbDropRemovesAboutP) {
+  const Coo<double> base = gen_dense<double>(60, 60, 3);
+  const Coo<double> dropped = perturb_drop(base, 0.3, 4);
+  const double kept =
+      static_cast<double>(dropped.nnz()) / static_cast<double>(base.nnz());
+  EXPECT_NEAR(kept, 0.7, 0.05);
+  EXPECT_TRUE(same_structure(perturb_drop(base, 0.3, 4),
+                             perturb_drop(base, 0.3, 4)));
+}
+
+TEST(Generators, RejectBadParameters) {
+  EXPECT_THROW(gen_stencil_2d<double>(4, 4, 7, 1), invalid_argument_error);
+  EXPECT_THROW(gen_stencil_3d<double>(4, 4, 4, 9, 1), invalid_argument_error);
+  EXPECT_THROW(gen_rmat<double>(0, 10, 0.5, 0.2, 0.2, 1),
+               invalid_argument_error);
+  EXPECT_THROW(gen_rmat<double>(5, 10, 0.5, 0.3, 0.3, 1),
+               invalid_argument_error);  // a+b+c >= 1
+  EXPECT_THROW(perturb_drop(Coo<double>(2, 2), 1.5, 1),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace bspmv

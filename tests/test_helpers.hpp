@@ -1,0 +1,111 @@
+// Shared fixtures/utilities for the blockspmv test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/util/macros.hpp"
+#include "src/core/candidates.hpp"
+#include "src/formats/coo.hpp"
+#include "src/formats/csr.hpp"
+#include "src/profile/machine_profile.hpp"
+#include "src/util/aligned.hpp"
+#include "src/util/prng.hpp"
+
+namespace bspmv::testing {
+
+/// Random sparse matrix with ~`density` fill, deterministic per seed.
+template <class V>
+Coo<V> random_coo(index_t n, index_t m, double density, std::uint64_t seed) {
+  Coo<V> coo(n, m);
+  Xoshiro256 rng(seed);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < m; ++j)
+      if (rng.uniform() < density)
+        coo.add(i, j, static_cast<V>(0.1 + rng.uniform()));
+  return coo;
+}
+
+/// Random matrix with clustered (block-friendly) structure.
+template <class V>
+Coo<V> random_blocky_coo(index_t n, index_t m, int block, double block_density,
+                         double fill, std::uint64_t seed) {
+  Coo<V> coo(n, m);
+  Xoshiro256 rng(seed);
+  for (index_t bi = 0; bi * block < n; ++bi) {
+    for (index_t bj = 0; bj * block < m; ++bj) {
+      if (rng.uniform() >= block_density) continue;
+      for (int r = 0; r < block && bi * block + r < n; ++r)
+        for (int c = 0; c < block && bj * block + c < m; ++c)
+          if (rng.uniform() < fill)
+            coo.add(bi * block + r, bj * block + c,
+                    static_cast<V>(0.1 + rng.uniform()));
+    }
+  }
+  return coo;
+}
+
+template <class V>
+aligned_vector<V> random_x(index_t m, std::uint64_t seed) {
+  aligned_vector<V> x(static_cast<std::size_t>(m));
+  Xoshiro256 rng(seed);
+  for (auto& e : x) e = static_cast<V>(rng.uniform() - 0.5);
+  return x;
+}
+
+template <class V>
+double rel_tolerance() {
+  return sizeof(V) == sizeof(float) ? 2e-3 : 1e-10;
+}
+
+/// EXPECT y ≈ ref elementwise with a relative tolerance suited to V.
+template <class V>
+void expect_vectors_near(const V* y, const V* ref, index_t n,
+                         const std::string& context) {
+  const double tol = rel_tolerance<V>();
+  for (index_t i = 0; i < n; ++i) {
+    const double a = static_cast<double>(y[i]);
+    const double b = static_cast<double>(ref[i]);
+    const double scale = std::max({std::abs(a), std::abs(b), 1.0});
+    ASSERT_NEAR(a, b, tol * scale)
+        << context << " mismatch at row " << i;
+  }
+}
+
+/// Check an arbitrary spmv result against the COO reference.
+template <class V, class RunFn>
+void check_against_reference(const Coo<V>& coo, RunFn run,
+                             const std::string& context,
+                             std::uint64_t xseed = 7) {
+  const auto x = random_x<V>(coo.cols(), xseed);
+  aligned_vector<V> y(static_cast<std::size_t>(coo.rows()),
+                      static_cast<V>(99));  // poison: must be overwritten
+  aligned_vector<V> ref(static_cast<std::size_t>(coo.rows()), V{0});
+  coo.spmv_reference(x.data(), ref.data());
+  run(x.data(), y.data());
+  expect_vectors_near(y.data(), ref.data(), coo.rows(), context);
+}
+
+/// A fully-populated synthetic machine profile (every kernel id from the
+/// bench candidate set, both precisions) for model tests that must not
+/// depend on wall-clock measurements.
+inline MachineProfile synthetic_profile(double bw = 10e9, double tb = 2e-9,
+                                        double nof = 0.3) {
+  MachineProfile p;
+  p.bandwidth_bps = bw;
+  p.read_bandwidth_bps = bw;
+  p.latency_seconds = 80e-9;
+  p.description = "synthetic test profile";
+  for (Precision prec : {Precision::kSingle, Precision::kDouble}) {
+    for (const Candidate& c : bench_candidates(true, true)) {
+      p.set_kernel(prec, c.kernel_id(), KernelProfile{tb, nof});
+      p.set_kernel(prec, c.id(), KernelProfile{tb, nof});
+    }
+  }
+  return p;
+}
+
+}  // namespace bspmv::testing

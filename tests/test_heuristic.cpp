@@ -1,0 +1,106 @@
+// Tests for the OSKI/SPARSITY-style BCSR fill heuristic (§IV comparator).
+#include <gtest/gtest.h>
+
+#include "src/core/heuristic.hpp"
+#include "src/formats/stats.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace bspmv {
+namespace {
+
+using bspmv::testing::random_blocky_coo;
+using bspmv::testing::random_coo;
+using bspmv::testing::synthetic_profile;
+
+TEST(FillEstimate, ExactScanMatchesStats) {
+  const Csr<double> a = Csr<double>::from_coo(
+      random_blocky_coo<double>(70, 62, 3, 0.3, 0.8, 1));
+  for (BlockShape shape : bcsr_shapes()) {
+    const BlockStats st = bcsr_stats(a, shape);
+    const double exact_fill =
+        static_cast<double>(st.stored_values) / static_cast<double>(a.nnz());
+    EXPECT_NEAR(estimate_bcsr_fill(a, shape, 1.0), exact_fill, 1e-12)
+        << shape.to_string();
+  }
+}
+
+TEST(FillEstimate, SamplingApproximatesExact) {
+  // Large homogeneous matrix: a 10% sample must land close to the truth.
+  const Csr<double> a = Csr<double>::from_coo(
+      random_blocky_coo<double>(1200, 1200, 3, 0.1, 0.85, 2));
+  for (BlockShape shape : {BlockShape{3, 3}, BlockShape{2, 2}}) {
+    const double exact = estimate_bcsr_fill(a, shape, 1.0);
+    const double sampled = estimate_bcsr_fill(a, shape, 0.1, 7);
+    EXPECT_NEAR(sampled, exact, 0.15 * exact) << shape.to_string();
+  }
+}
+
+TEST(FillEstimate, FillIsAtLeastOne) {
+  const Csr<double> a =
+      Csr<double>::from_coo(random_coo<double>(60, 60, 0.05, 3));
+  for (BlockShape shape : bcsr_shapes())
+    EXPECT_GE(estimate_bcsr_fill(a, shape, 1.0), 1.0) << shape.to_string();
+}
+
+TEST(FillEstimate, RejectsBadArguments) {
+  const Csr<double> a =
+      Csr<double>::from_coo(random_coo<double>(8, 8, 0.5, 1));
+  EXPECT_THROW(estimate_bcsr_fill(a, BlockShape{2, 2}, 0.0),
+               invalid_argument_error);
+  EXPECT_THROW(estimate_bcsr_fill(a, BlockShape{2, 2}, 1.5),
+               invalid_argument_error);
+  EXPECT_THROW(estimate_bcsr_fill(a, BlockShape{0, 2}, 1.0),
+               invalid_argument_error);
+}
+
+TEST(FillEstimate, EmptyMatrixIsNeutral) {
+  const Csr<double> a = Csr<double>::from_coo(Coo<double>(10, 10));
+  EXPECT_DOUBLE_EQ(estimate_bcsr_fill(a, BlockShape{2, 2}, 1.0), 1.0);
+}
+
+TEST(Heuristic, PicksBlockedShapeOnBlockyMatrix) {
+  // Uniform block times + a 4x4-blocky matrix: the heuristic should pick
+  // a blocked shape (fill ~1 beats CSR on the tb/(r*c) economics).
+  const MachineProfile p = synthetic_profile(10e9, 2e-9, 0.3);
+  const Csr<double> a = Csr<double>::from_coo(
+      random_blocky_coo<double>(128, 128, 4, 0.4, 1.01, 5));
+  const HeuristicSelection sel = select_bcsr_heuristic(a, p, 1.0);
+  EXPECT_EQ(sel.candidate.kind, FormatKind::kBcsr);
+  EXPECT_GT(sel.candidate.shape.elems(), 1);
+  EXPECT_LT(sel.est_fill, 1.2);
+  EXPECT_GT(sel.predicted_seconds, 0.0);
+}
+
+TEST(Heuristic, FallsBackToCsrOnHopelessMatrix) {
+  // Scattered singletons: every blocked shape has fill ~= r*c, so the
+  // heuristic's time estimate keeps CSR in front.
+  Coo<double> coo(256, 256);
+  for (index_t i = 0; i < 256; i += 2)
+    coo.add(i, (i * 37) % 256, 1.0);
+  const MachineProfile p = synthetic_profile(10e9, 2e-9, 0.3);
+  const HeuristicSelection sel =
+      select_bcsr_heuristic(Csr<double>::from_coo(coo), p, 1.0);
+  EXPECT_EQ(sel.candidate.kind, FormatKind::kCsr);
+}
+
+TEST(Heuristic, ScalarOnlyModeRestrictsImpl) {
+  const MachineProfile p = synthetic_profile();
+  const Csr<double> a = Csr<double>::from_coo(
+      random_blocky_coo<double>(64, 64, 2, 0.4, 0.9, 6));
+  const HeuristicSelection sel =
+      select_bcsr_heuristic(a, p, 1.0, /*include_simd=*/false);
+  EXPECT_EQ(sel.candidate.impl, Impl::kScalar);
+}
+
+TEST(Heuristic, DeterministicPerSeed) {
+  const MachineProfile p = synthetic_profile();
+  const Csr<double> a = Csr<double>::from_coo(
+      random_blocky_coo<double>(300, 300, 3, 0.2, 0.8, 7));
+  const auto s1 = select_bcsr_heuristic(a, p, 0.2, true, 42);
+  const auto s2 = select_bcsr_heuristic(a, p, 0.2, true, 42);
+  EXPECT_EQ(s1.candidate, s2.candidate);
+  EXPECT_DOUBLE_EQ(s1.predicted_seconds, s2.predicted_seconds);
+}
+
+}  // namespace
+}  // namespace bspmv

@@ -1,0 +1,133 @@
+// Matrix Market I/O tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/io/matrix_market.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace bspmv {
+namespace {
+
+using bspmv::testing::random_coo;
+
+TEST(MatrixMarket, ParsesGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 4 2\n"
+      "1 1 1.5\n"
+      "3 4 -2.25\n");
+  const Coo<double> coo = parse_matrix_market<double>(in);
+  EXPECT_EQ(coo.rows(), 3);
+  EXPECT_EQ(coo.cols(), 4);
+  ASSERT_EQ(coo.nnz(), 2u);
+  EXPECT_EQ(coo.entries()[0].row, 0);
+  EXPECT_EQ(coo.entries()[0].col, 0);
+  EXPECT_DOUBLE_EQ(coo.entries()[0].value, 1.5);
+  EXPECT_EQ(coo.entries()[1].row, 2);
+  EXPECT_EQ(coo.entries()[1].col, 3);
+  EXPECT_DOUBLE_EQ(coo.entries()[1].value, -2.25);
+}
+
+TEST(MatrixMarket, ParsesSymmetricMirrorsOffDiagonals) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 5\n"
+      "3 3 7\n");
+  Coo<double> coo = parse_matrix_market<double>(in);
+  coo.sort_and_combine();
+  ASSERT_EQ(coo.nnz(), 3u);  // (1,0), (0,1) mirrored, (2,2) not duplicated
+  EXPECT_DOUBLE_EQ(coo.entries()[0].value, 5.0);  // (0,1)
+  EXPECT_DOUBLE_EQ(coo.entries()[1].value, 5.0);  // (1,0)
+  EXPECT_DOUBLE_EQ(coo.entries()[2].value, 7.0);  // (2,2)
+}
+
+TEST(MatrixMarket, ParsesSkewSymmetric) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3\n");
+  Coo<double> coo = parse_matrix_market<double>(in);
+  coo.sort_and_combine();
+  ASSERT_EQ(coo.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(coo.entries()[0].value, -3.0);  // mirrored negated (0,1)
+  EXPECT_DOUBLE_EQ(coo.entries()[1].value, 3.0);
+}
+
+TEST(MatrixMarket, ParsesPatternAsOnes) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  const Coo<double> coo = parse_matrix_market<double>(in);
+  ASSERT_EQ(coo.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(coo.entries()[0].value, 1.0);
+}
+
+TEST(MatrixMarket, ParsesIntegerField) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "1 1 1\n"
+      "1 1 42\n");
+  const Coo<double> coo = parse_matrix_market<double>(in);
+  EXPECT_DOUBLE_EQ(coo.entries()[0].value, 42.0);
+}
+
+TEST(MatrixMarket, RejectsMalformedInput) {
+  const char* cases[] = {
+      "",                                                    // empty
+      "%%WrongBanner matrix coordinate real general\n1 1 0\n",
+      "%%MatrixMarket vector coordinate real general\n1 1 0\n",
+      "%%MatrixMarket matrix array real general\n1 1\n",
+      "%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+      "%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n",
+      "%%MatrixMarket matrix coordinate real general\nbroken\n",
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+      "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+  };
+  for (const char* text : cases) {
+    std::istringstream in(text);
+    EXPECT_THROW(parse_matrix_market<double>(in), parse_error) << text;
+  }
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+  Coo<double> coo = random_coo<double>(23, 31, 0.15, 77);
+  coo.sort_and_combine();
+  std::ostringstream out;
+  write_matrix_market(coo, out);
+  std::istringstream in(out.str());
+  Coo<double> back = parse_matrix_market<double>(in);
+  back.sort_and_combine();
+  ASSERT_EQ(back.nnz(), coo.nnz());
+  EXPECT_EQ(back.rows(), coo.rows());
+  EXPECT_EQ(back.cols(), coo.cols());
+  for (std::size_t k = 0; k < coo.nnz(); ++k) {
+    EXPECT_EQ(back.entries()[k].row, coo.entries()[k].row);
+    EXPECT_EQ(back.entries()[k].col, coo.entries()[k].col);
+    EXPECT_DOUBLE_EQ(back.entries()[k].value, coo.entries()[k].value);
+  }
+}
+
+TEST(MatrixMarket, FileRoundTripThroughDisk) {
+  const std::string path = ::testing::TempDir() + "/bspmv_io_test.mtx";
+  Coo<float> coo = random_coo<float>(9, 7, 0.3, 5);
+  coo.sort_and_combine();
+  write_matrix_market(coo, path);
+  Coo<float> back = read_matrix_market<float>(path);
+  back.sort_and_combine();
+  ASSERT_EQ(back.nnz(), coo.nnz());
+  for (std::size_t k = 0; k < coo.nnz(); ++k)
+    EXPECT_FLOAT_EQ(back.entries()[k].value, coo.entries()[k].value);
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market<double>("/nonexistent/nope.mtx"),
+               parse_error);
+}
+
+}  // namespace
+}  // namespace bspmv

@@ -1,0 +1,181 @@
+// Parallel substrate tests: partition invariants and threaded-vs-serial
+// SpMV equivalence for every parallelised format and thread count.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/parallel/parallel_spmv.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace bspmv {
+namespace {
+
+using bspmv::testing::expect_vectors_near;
+using bspmv::testing::random_blocky_coo;
+using bspmv::testing::random_coo;
+using bspmv::testing::random_x;
+
+// ----------------------------------------------------- partitioning ----
+
+TEST(Partition, BoundariesAreMonotoneAndCover) {
+  const std::vector<std::size_t> w = {5, 1, 1, 9, 0, 0, 3, 7, 2, 2};
+  for (int parts : {1, 2, 3, 4, 7, 10, 15}) {
+    const auto b = balanced_partition(w, parts);
+    ASSERT_EQ(b.size(), static_cast<std::size_t>(parts) + 1);
+    EXPECT_EQ(b.front(), 0);
+    EXPECT_EQ(b.back(), static_cast<index_t>(w.size()));
+    for (std::size_t i = 1; i < b.size(); ++i) EXPECT_GE(b[i], b[i - 1]);
+  }
+}
+
+TEST(Partition, BalancesWeightWithinOneUnit) {
+  // Uniform weights must split almost perfectly.
+  const std::vector<std::size_t> w(100, 4);
+  const auto b = balanced_partition(w, 4);
+  for (int p = 0; p < 4; ++p) {
+    const index_t len = b[static_cast<std::size_t>(p) + 1] -
+                        b[static_cast<std::size_t>(p)];
+    EXPECT_GE(len, 24);
+    EXPECT_LE(len, 26);
+  }
+}
+
+TEST(Partition, HeavyUnitDominatesItsPart) {
+  // One huge unit: every other part can be tiny/empty but coverage holds.
+  std::vector<std::size_t> w(10, 1);
+  w[5] = 1000;
+  const auto b = balanced_partition(w, 3);
+  EXPECT_EQ(b.front(), 0);
+  EXPECT_EQ(b.back(), 10);
+}
+
+TEST(Partition, EmptyWeights) {
+  const std::vector<std::size_t> w;
+  const auto b = balanced_partition(w, 4);
+  for (index_t x : b) EXPECT_EQ(x, 0);
+}
+
+TEST(Partition, RejectsZeroParts) {
+  const std::vector<std::size_t> w = {1};
+  EXPECT_THROW(balanced_partition(w, 0), invalid_argument_error);
+}
+
+TEST(Partition, PaddingAwareWeights) {
+  // BCSR weights count padded zeros: a block row with 2 blocks of 2x2
+  // weighs 8 regardless of actual nonzeros.
+  Coo<double> coo(4, 8);
+  coo.add(0, 0, 1.0);            // block (0,0): 1 nnz, weight still 4
+  coo.add(2, 0, 1.0);
+  coo.add(2, 2, 1.0);
+  coo.add(3, 1, 1.0);
+  const Bcsr<double> m =
+      Bcsr<double>::from_csr(Csr<double>::from_coo(coo), BlockShape{2, 2});
+  const auto w = block_row_weights(m);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w[0], 4u);   // one block
+  EXPECT_EQ(w[1], 8u);   // two blocks
+}
+
+// ------------------------------------------------ threaded equality ----
+
+class ThreadedSpmv : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadedSpmv, CsrMatchesSerial) {
+  const int threads = GetParam();
+  const Coo<double> coo = random_coo<double>(101, 97, 0.06, 1);
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  const auto x = random_x<double>(97, 3);
+  aligned_vector<double> ys(101, 0.0), yp(101, -1.0);
+  spmv(a, x.data(), ys.data());
+  for (Impl impl : {Impl::kScalar, Impl::kSimd}) {
+    ThreadedCsrSpmv<double>(a, threads).run(x.data(), yp.data(), impl);
+    expect_vectors_near(yp.data(), ys.data(), 101, "threaded csr");
+  }
+}
+
+TEST_P(ThreadedSpmv, BcsrMatchesSerial) {
+  const int threads = GetParam();
+  const Coo<double> coo = random_blocky_coo<double>(90, 84, 3, 0.3, 0.8, 2);
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  const auto x = random_x<double>(84, 4);
+  for (BlockShape shape : {BlockShape{2, 2}, BlockShape{3, 1},
+                           BlockShape{4, 2}, BlockShape{1, 8}}) {
+    const Bcsr<double> m = Bcsr<double>::from_csr(a, shape);
+    aligned_vector<double> ys(90, 0.0), yp(90, -1.0);
+    spmv(m, x.data(), ys.data());
+    ThreadedBcsrSpmv<double>(m, threads).run(x.data(), yp.data(), Impl::kSimd);
+    expect_vectors_near(yp.data(), ys.data(), 90,
+                        "threaded bcsr " + shape.to_string());
+  }
+}
+
+TEST_P(ThreadedSpmv, BcsdMatchesSerial) {
+  const int threads = GetParam();
+  const Coo<double> coo =
+      bspmv::testing::random_coo<double>(95, 88, 0.07, 5);
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  const auto x = random_x<double>(88, 6);
+  for (int b : {2, 4, 7}) {
+    const Bcsd<double> m = Bcsd<double>::from_csr(a, b);
+    aligned_vector<double> ys(95, 0.0), yp(95, -1.0);
+    spmv(m, x.data(), ys.data());
+    ThreadedBcsdSpmv<double>(m, threads).run(x.data(), yp.data());
+    expect_vectors_near(yp.data(), ys.data(), 95,
+                        "threaded bcsd b=" + std::to_string(b));
+  }
+}
+
+TEST_P(ThreadedSpmv, DecomposedMatchesSerial) {
+  const int threads = GetParam();
+  const Coo<double> coo = random_blocky_coo<double>(87, 92, 2, 0.3, 0.85, 7);
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  const auto x = random_x<double>(92, 8);
+
+  const BcsrDec<double> m1 = BcsrDec<double>::from_csr(a, BlockShape{2, 2});
+  aligned_vector<double> ys(87, 0.0), yp(87, -1.0);
+  spmv(m1, x.data(), ys.data());
+  ThreadedBcsrDecSpmv<double>(m1, threads).run(x.data(), yp.data());
+  expect_vectors_near(yp.data(), ys.data(), 87, "threaded bcsr_dec");
+
+  const BcsdDec<double> m2 = BcsdDec<double>::from_csr(a, 3);
+  aligned_vector<double> ys2(87, 0.0), yp2(87, -1.0);
+  spmv(m2, x.data(), ys2.data());
+  ThreadedBcsdDecSpmv<double>(m2, threads).run(x.data(), yp2.data(),
+                                               Impl::kSimd);
+  expect_vectors_near(yp2.data(), ys2.data(), 87, "threaded bcsd_dec");
+}
+
+TEST_P(ThreadedSpmv, FloatMatchesSerial) {
+  const int threads = GetParam();
+  const Coo<float> coo = random_coo<float>(77, 83, 0.08, 9);
+  const Csr<float> a = Csr<float>::from_coo(coo);
+  const auto x = random_x<float>(83, 10);
+  aligned_vector<float> ys(77, 0.0f), yp(77, -1.0f);
+  spmv(a, x.data(), ys.data());
+  ThreadedCsrSpmv<float>(a, threads).run(x.data(), yp.data());
+  expect_vectors_near(yp.data(), ys.data(), 77, "threaded csr float");
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadedSpmv, ::testing::Values(1, 2, 3, 4));
+
+TEST(ThreadedSpmvEdge, MoreThreadsThanRows) {
+  Coo<double> coo(3, 3);
+  coo.add(0, 0, 1.0);
+  coo.add(2, 2, 2.0);
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  const aligned_vector<double> x = {1.0, 1.0, 1.0};
+  aligned_vector<double> y(3, -1.0);
+  ThreadedCsrSpmv<double>(a, 8).run(x.data(), y.data());
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], 2.0);
+}
+
+TEST(ThreadedSpmvEdge, RejectsZeroThreads) {
+  const Csr<double> a =
+      Csr<double>::from_coo(random_coo<double>(4, 4, 0.5, 1));
+  EXPECT_THROW(ThreadedCsrSpmv<double>(a, 0), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace bspmv

@@ -1,0 +1,162 @@
+// Permutation-utility and similarity-reordering tests.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/core/reorder.hpp"
+#include "src/formats/permute.hpp"
+#include "src/formats/stats.hpp"
+#include "src/kernels/spmv.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace bspmv {
+namespace {
+
+using bspmv::testing::random_blocky_coo;
+using bspmv::testing::random_coo;
+using bspmv::testing::random_x;
+
+std::vector<index_t> shuffled_identity(index_t n, std::uint64_t seed) {
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  Xoshiro256 rng(seed);
+  for (std::size_t i = perm.size(); i > 1; --i)
+    std::swap(perm[i - 1], perm[rng.below(i)]);
+  return perm;
+}
+
+TEST(Permute, ValidationRejectsNonPermutations) {
+  EXPECT_TRUE(is_permutation({2, 0, 1}, 3));
+  EXPECT_FALSE(is_permutation({0, 0, 1}, 3));   // duplicate
+  EXPECT_FALSE(is_permutation({0, 1, 3}, 3));   // out of range
+  EXPECT_FALSE(is_permutation({0, 1}, 3));      // wrong length
+  const Csr<double> a =
+      Csr<double>::from_coo(random_coo<double>(4, 4, 0.5, 1));
+  EXPECT_THROW(permute_rows(a, {0, 0, 1, 2}), invalid_argument_error);
+}
+
+TEST(Permute, InvertRoundTrips) {
+  const auto perm = shuffled_identity(37, 5);
+  const auto inv = invert_permutation(perm);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    EXPECT_EQ(inv[static_cast<std::size_t>(perm[i])], static_cast<index_t>(i));
+  }
+}
+
+TEST(Permute, RowPermutationMovesRows) {
+  // B.row(i) = A.row(perm[i]) entry-for-entry.
+  const Csr<double> a =
+      Csr<double>::from_coo(random_coo<double>(25, 30, 0.2, 2));
+  const auto perm = shuffled_identity(25, 3);
+  const Csr<double> b = permute_rows(a, perm);
+  ASSERT_EQ(b.nnz(), a.nnz());
+  for (index_t i = 0; i < 25; ++i) {
+    const auto old_row = static_cast<std::size_t>(perm[static_cast<std::size_t>(i)]);
+    ASSERT_EQ(b.row_nnz(i), a.row_nnz(static_cast<index_t>(old_row)));
+    for (index_t k = 0; k < b.row_nnz(i); ++k) {
+      const auto bk = static_cast<std::size_t>(
+          b.row_ptr()[static_cast<std::size_t>(i)] + k);
+      const auto ak = static_cast<std::size_t>(a.row_ptr()[old_row] + k);
+      EXPECT_EQ(b.col_ind()[bk], a.col_ind()[ak]);
+      EXPECT_DOUBLE_EQ(b.val()[bk], a.val()[ak]);
+    }
+  }
+}
+
+TEST(Permute, RowPermutedSpmvIsPermutedProduct) {
+  // (P A) x == P (A x).
+  const Csr<double> a =
+      Csr<double>::from_coo(random_coo<double>(40, 40, 0.15, 4));
+  const auto perm = shuffled_identity(40, 6);
+  const Csr<double> pa = permute_rows(a, perm);
+  const auto x = random_x<double>(40, 7);
+  aligned_vector<double> y(40, 0.0), py(40, 0.0);
+  spmv(a, x.data(), y.data());
+  spmv(pa, x.data(), py.data());
+  for (index_t i = 0; i < 40; ++i)
+    EXPECT_DOUBLE_EQ(py[static_cast<std::size_t>(i)],
+                     y[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])]);
+}
+
+TEST(Permute, SymmetricPermutationPreservesProductUpToRelabelling) {
+  // B = P A Pᵀ: B (P x) == P (A x).
+  const Csr<double> a =
+      Csr<double>::from_coo(random_coo<double>(33, 33, 0.2, 8));
+  const auto perm = shuffled_identity(33, 9);
+  const Csr<double> b = permute_symmetric(a, perm);
+  const auto x = random_x<double>(33, 10);
+  aligned_vector<double> px(33);
+  for (index_t i = 0; i < 33; ++i)
+    px[static_cast<std::size_t>(i)] =
+        x[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])];
+
+  aligned_vector<double> ax(33, 0.0), bpx(33, 0.0);
+  spmv(a, x.data(), ax.data());
+  spmv(b, px.data(), bpx.data());
+  for (index_t i = 0; i < 33; ++i)
+    EXPECT_NEAR(bpx[static_cast<std::size_t>(i)],
+                ax[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])],
+                1e-12);
+}
+
+TEST(Permute, SymmetricRequiresSquare) {
+  const Csr<double> a =
+      Csr<double>::from_coo(random_coo<double>(4, 5, 0.5, 1));
+  EXPECT_THROW(permute_symmetric(a, {0, 1, 2, 3}), invalid_argument_error);
+}
+
+// ------------------------------------------------------- reordering ----
+
+TEST(Reorder, ProducesAValidPermutation) {
+  const Csr<double> a =
+      Csr<double>::from_coo(random_coo<double>(80, 80, 0.08, 11));
+  const auto perm = similarity_reorder(a);
+  EXPECT_TRUE(is_permutation(perm, 80));
+}
+
+TEST(Reorder, RecoversBlockabilityAfterRowShuffle) {
+  // Build a perfectly 4x4-blocky matrix, destroy its row locality with a
+  // random shuffle, then reorder: the similarity permutation must recover
+  // most of the lost BCSR fill.
+  const Csr<double> blocky = Csr<double>::from_coo(
+      random_blocky_coo<double>(160, 160, 4, 0.25, 1.01, 12));
+  const BlockShape shape{4, 4};
+  const double fill_orig = bcsr_stats(blocky, shape).fill();
+
+  const Csr<double> shuffled =
+      permute_rows(blocky, shuffled_identity(160, 13));
+  const double fill_shuffled = bcsr_stats(shuffled, shape).fill();
+
+  const Csr<double> reordered =
+      permute_rows(shuffled, similarity_reorder(shuffled));
+  const double fill_reordered = bcsr_stats(reordered, shape).fill();
+
+  EXPECT_LT(fill_shuffled, 0.7 * fill_orig);      // shuffle really hurts
+  EXPECT_GT(fill_reordered, 1.5 * fill_shuffled); // reorder really helps
+}
+
+TEST(Reorder, ReorderedSpmvStillCorrect) {
+  const Coo<double> coo = random_blocky_coo<double>(90, 90, 3, 0.3, 0.9, 14);
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  const auto perm = similarity_reorder(a);
+  const Csr<double> pa = permute_rows(a, perm);
+  const auto x = random_x<double>(90, 15);
+  aligned_vector<double> y(90, 0.0), py(90, 0.0);
+  spmv(a, x.data(), y.data());
+  spmv(pa, x.data(), py.data());
+  for (index_t i = 0; i < 90; ++i)
+    EXPECT_DOUBLE_EQ(py[static_cast<std::size_t>(i)],
+                     y[static_cast<std::size_t>(perm[static_cast<std::size_t>(i)])]);
+}
+
+TEST(Reorder, DeterministicAndRejectsBadOptions) {
+  const Csr<double> a =
+      Csr<double>::from_coo(random_coo<double>(50, 50, 0.1, 16));
+  EXPECT_EQ(similarity_reorder(a), similarity_reorder(a));
+  ReorderOptions bad;
+  bad.signature_words = 9;
+  EXPECT_THROW(similarity_reorder(a, bad), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace bspmv

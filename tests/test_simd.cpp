@@ -1,0 +1,90 @@
+// Unit tests for the portable SIMD primitives and the shared block
+// multiply-accumulate bodies.
+#include <gtest/gtest.h>
+
+#include "src/kernels/block_madd.hpp"
+#include "src/kernels/simd.hpp"
+
+namespace bspmv {
+namespace {
+
+TEST(Simd, WidthsMatchSse2) {
+  EXPECT_EQ(simd_width<double>, 2);
+  EXPECT_EQ(simd_width<float>, 4);
+  EXPECT_EQ(sizeof(simd_t<double>), 16u);
+  EXPECT_EQ(sizeof(simd_t<float>), 16u);
+}
+
+TEST(Simd, LoadStoreRoundTripUnaligned) {
+  alignas(64) double buf[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  // Deliberately misaligned base (+1 element = 8 bytes off 16).
+  const simd_t<double> v = simd_loadu(buf + 1);
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+  EXPECT_DOUBLE_EQ(v[1], 3.0);
+  double out[3] = {};
+  simd_storeu(out + 1, v);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 2.0);
+  EXPECT_DOUBLE_EQ(out[2], 3.0);
+}
+
+TEST(Simd, BroadcastZeroHsum) {
+  const simd_t<float> b = simd_broadcast(2.5f);
+  for (int i = 0; i < simd_width<float>; ++i) EXPECT_FLOAT_EQ(b[i], 2.5f);
+  EXPECT_FLOAT_EQ(simd_hsum<float>(b), 10.0f);
+  EXPECT_DOUBLE_EQ(simd_hsum<double>(simd_zero<double>()), 0.0);
+}
+
+template <class V, int R, int C>
+void check_block_madd() {
+  V bv[R * C];
+  V xp[C];
+  for (int i = 0; i < R * C; ++i) bv[i] = static_cast<V>(i + 1);
+  for (int c = 0; c < C; ++c) xp[c] = static_cast<V>(2 * c + 1);
+
+  V want[R];
+  for (int r = 0; r < R; ++r) {
+    want[r] = V{0};
+    for (int c = 0; c < C; ++c) want[r] += bv[r * C + c] * xp[c];
+  }
+
+  V got_scalar[R] = {};
+  detail::block_madd_scalar<V, R, C>(bv, xp, got_scalar);
+  V got_simd[R] = {};
+  detail::block_madd_simd<V, R, C>(bv, xp, got_simd);
+  for (int r = 0; r < R; ++r) {
+    EXPECT_NEAR(static_cast<double>(got_scalar[r]),
+                static_cast<double>(want[r]), 1e-5);
+    EXPECT_NEAR(static_cast<double>(got_simd[r]),
+                static_cast<double>(want[r]), 1e-5);
+  }
+}
+
+TEST(BlockMadd, AllPaperShapesBothTypes) {
+  // Covers all three SIMD strategies: C%w==0, C==1&&R%w==0, fallback.
+  check_block_madd<double, 1, 2>();
+  check_block_madd<double, 1, 8>();
+  check_block_madd<double, 2, 4>();
+  check_block_madd<double, 2, 1>();
+  check_block_madd<double, 8, 1>();
+  check_block_madd<double, 3, 2>();
+  check_block_madd<double, 1, 3>();  // odd width fallback
+  check_block_madd<float, 1, 4>();
+  check_block_madd<float, 2, 4>();
+  check_block_madd<float, 4, 1>();
+  check_block_madd<float, 8, 1>();
+  check_block_madd<float, 1, 7>();
+  check_block_madd<float, 3, 2>();
+}
+
+TEST(BlockMadd, AccumulatesIntoExistingSum) {
+  double bv[2] = {3.0, 4.0};
+  double xp[1] = {10.0};
+  double sum[2] = {100.0, 200.0};
+  detail::block_madd_simd<double, 2, 1>(bv, xp, sum);
+  EXPECT_DOUBLE_EQ(sum[0], 130.0);
+  EXPECT_DOUBLE_EQ(sum[1], 240.0);
+}
+
+}  // namespace
+}  // namespace bspmv

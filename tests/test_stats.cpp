@@ -1,0 +1,133 @@
+// Property tests: the cheap structural estimators in formats/stats must
+// agree exactly with the materialised formats for every block shape.
+#include <gtest/gtest.h>
+
+#include "src/formats/bcsd.hpp"
+#include "src/formats/bcsr.hpp"
+#include "src/formats/decomposed.hpp"
+#include "src/formats/stats.hpp"
+#include "src/formats/vbl.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace bspmv {
+namespace {
+
+using bspmv::testing::random_blocky_coo;
+using bspmv::testing::random_coo;
+
+class StatsVsBcsr : public ::testing::TestWithParam<BlockShape> {};
+
+TEST_P(StatsVsBcsr, EstimatorMatchesMaterialisedFormat) {
+  const BlockShape shape = GetParam();
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const Csr<double> a = Csr<double>::from_coo(
+        random_coo<double>(53 + static_cast<index_t>(seed), 47, 0.08, seed));
+    const BlockStats st = bcsr_stats(a, shape);
+    const Bcsr<double> m = Bcsr<double>::from_csr(a, shape);
+    EXPECT_EQ(st.blocks, m.blocks()) << shape.to_string();
+    EXPECT_EQ(st.stored_values, m.bval().size()) << shape.to_string();
+    EXPECT_EQ(st.covered_nnz, a.nnz()) << shape.to_string();
+    EXPECT_EQ(st.padding(), m.padding()) << shape.to_string();
+  }
+}
+
+TEST_P(StatsVsBcsr, DecEstimatorMatchesMaterialisedDecomposition) {
+  const BlockShape shape = GetParam();
+  const Csr<double> a = Csr<double>::from_coo(
+      random_blocky_coo<double>(61, 59, 4, 0.25, 0.8, 99));
+  const DecompStats st = bcsr_dec_stats(a, shape);
+  const BcsrDec<double> m = BcsrDec<double>::from_csr(a, shape);
+  EXPECT_EQ(st.full.blocks, m.blocked().blocks());
+  EXPECT_EQ(st.remainder_nnz, m.remainder().nnz());
+  EXPECT_EQ(st.full.covered_nnz + st.remainder_nnz, a.nnz());
+  EXPECT_EQ(st.full.padding(), 0u);  // full blocks never pad
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, StatsVsBcsr,
+                         ::testing::ValuesIn(bcsr_shapes()),
+                         [](const auto& info) {
+                           return info.param.to_string();
+                         });
+
+class StatsVsBcsd : public ::testing::TestWithParam<int> {};
+
+TEST_P(StatsVsBcsd, EstimatorMatchesMaterialisedFormat) {
+  const int b = GetParam();
+  for (std::uint64_t seed : {4u, 5u}) {
+    const Csr<double> a = Csr<double>::from_coo(
+        random_coo<double>(50, 64 + static_cast<index_t>(seed), 0.06, seed));
+    const BlockStats st = bcsd_stats(a, b);
+    const Bcsd<double> m = Bcsd<double>::from_csr(a, b);
+    EXPECT_EQ(st.blocks, m.blocks()) << "b=" << b;
+    EXPECT_EQ(st.stored_values, m.bval().size()) << "b=" << b;
+    EXPECT_EQ(st.padding(), m.padding()) << "b=" << b;
+  }
+}
+
+TEST_P(StatsVsBcsd, DecEstimatorMatchesMaterialisedDecomposition) {
+  const int b = GetParam();
+  // Diagonal-heavy structure so full diagonals actually occur.
+  Coo<double> coo(64, 64);
+  Xoshiro256 rng(7);
+  for (index_t i = 0; i < 64; ++i) {
+    coo.add(i, i, 1.0);
+    if (i + 1 < 64) coo.add(i, i + 1, 1.0);
+    if (rng.uniform() < 0.3)
+      coo.add(i, static_cast<index_t>(rng.below(64)), 1.0);
+  }
+  coo.sort_and_combine();
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  const DecompStats st = bcsd_dec_stats(a, b);
+  const BcsdDec<double> m = BcsdDec<double>::from_csr(a, b);
+  EXPECT_EQ(st.full.blocks, m.blocked().blocks());
+  EXPECT_EQ(st.remainder_nnz, m.remainder().nnz());
+  EXPECT_EQ(st.full.covered_nnz + st.remainder_nnz, a.nnz());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, StatsVsBcsd,
+                         ::testing::ValuesIn(bcsd_sizes()));
+
+TEST(StatsVbl, BlockCountMatchesMaterialisedFormat) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    const Csr<double> a = Csr<double>::from_coo(
+        random_coo<double>(40, 300, 0.15, seed));
+    EXPECT_EQ(vbl_block_count(a), Vbl<double>::from_csr(a).blocks());
+  }
+}
+
+TEST(StatsVbl, DenseRowSplitsAt255) {
+  Coo<double> coo(1, 600);
+  for (index_t j = 0; j < 600; ++j) coo.add(0, j, 1.0);
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  // 600 consecutive = 255 + 255 + 90 -> 3 blocks.
+  EXPECT_EQ(vbl_block_count(a), 3u);
+}
+
+TEST(Stats, DenseMatrixHasNoPadding) {
+  // Every aligned block of a dense matrix whose dims are multiples of the
+  // shape is completely full.
+  const Csr<double> a =
+      Csr<double>::from_coo(random_coo<double>(24, 24, 1.01, 1));
+  for (BlockShape shape : bcsr_shapes()) {
+    if (24 % shape.r != 0 || 24 % shape.c != 0) continue;
+    const BlockStats st = bcsr_stats(a, shape);
+    EXPECT_EQ(st.padding(), 0u) << shape.to_string();
+    EXPECT_EQ(st.blocks,
+              static_cast<std::size_t>((24 / shape.r) * (24 / shape.c)));
+  }
+}
+
+TEST(Stats, FillRatioBounds) {
+  const Csr<double> a =
+      Csr<double>::from_coo(random_coo<double>(30, 30, 0.05, 77));
+  for (BlockShape shape : bcsr_shapes()) {
+    const BlockStats st = bcsr_stats(a, shape);
+    EXPECT_GT(st.fill(), 0.0);
+    EXPECT_LE(st.fill(), 1.0);
+    // With sparse random structure, bigger blocks can only pad more:
+    EXPECT_GE(st.stored_values, a.nnz());
+  }
+}
+
+}  // namespace
+}  // namespace bspmv

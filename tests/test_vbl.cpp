@@ -1,0 +1,124 @@
+// 1D-VBL format and kernel tests.
+#include <gtest/gtest.h>
+
+#include "src/formats/vbl.hpp"
+#include "src/kernels/spmv.hpp"
+#include "src/kernels/vbl_kernels.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace bspmv {
+namespace {
+
+using bspmv::testing::check_against_reference;
+using bspmv::testing::random_coo;
+
+TEST(Vbl, BuildsMaximalRuns) {
+  // Row 0: cols {1,2,3, 7}, row 1: cols {0}, row 2: empty.
+  Coo<double> coo(3, 9);
+  coo.add(0, 1, 1);
+  coo.add(0, 2, 2);
+  coo.add(0, 3, 3);
+  coo.add(0, 7, 4);
+  coo.add(1, 0, 5);
+  const Vbl<double> m = Vbl<double>::from_csr(Csr<double>::from_coo(coo));
+  ASSERT_EQ(m.blocks(), 3u);
+  EXPECT_EQ(m.bcol_ind()[0], 1);
+  EXPECT_EQ(m.blk_size()[0], 3);
+  EXPECT_EQ(m.bcol_ind()[1], 7);
+  EXPECT_EQ(m.blk_size()[1], 1);
+  EXPECT_EQ(m.bcol_ind()[2], 0);
+  EXPECT_EQ(m.blk_size()[2], 1);
+  // val and row_ptr identical to CSR.
+  EXPECT_EQ(m.nnz(), 5u);
+  const aligned_vector<index_t> want_rp = {0, 4, 5, 5};
+  EXPECT_EQ(m.row_ptr(), want_rp);
+}
+
+TEST(Vbl, LongRunsSplitAt255) {
+  Coo<double> coo(2, 700);
+  for (index_t j = 0; j < 700; ++j) coo.add(0, j, 1.0);
+  for (index_t j = 100; j < 355; ++j) coo.add(1, j, 2.0);
+  const Vbl<double> m = Vbl<double>::from_csr(Csr<double>::from_coo(coo));
+  // Row 0: 255+255+190 -> 3 blocks; row 1: exactly 255 -> 1 block.
+  ASSERT_EQ(m.blocks(), 4u);
+  EXPECT_EQ(m.blk_size()[0], 255);
+  EXPECT_EQ(m.blk_size()[1], 255);
+  EXPECT_EQ(m.blk_size()[2], 190);
+  EXPECT_EQ(m.bcol_ind()[1], 255);
+  EXPECT_EQ(m.blk_size()[3], 255);
+}
+
+TEST(Vbl, RoundTripPreservesEntries) {
+  Coo<double> coo = random_coo<double>(25, 400, 0.2, 9);
+  coo.sort_and_combine();
+  Coo<double> back = Vbl<double>::from_csr(Csr<double>::from_coo(coo)).to_coo();
+  back.sort_and_combine();
+  ASSERT_EQ(back.nnz(), coo.nnz());
+  for (std::size_t k = 0; k < coo.nnz(); ++k) {
+    EXPECT_EQ(back.entries()[k].col, coo.entries()[k].col);
+    EXPECT_DOUBLE_EQ(back.entries()[k].value, coo.entries()[k].value);
+  }
+}
+
+TEST(Vbl, WorkingSetCountsByteSizedBlockArray) {
+  const Csr<double> a =
+      Csr<double>::from_coo(random_coo<double>(20, 50, 0.2, 2));
+  const Vbl<double> m = Vbl<double>::from_csr(a);
+  const std::size_t expect = m.nnz() * 8 + 21 * 4 + m.blocks() * (4 + 1) +
+                             (20 + 50) * 8;
+  EXPECT_EQ(m.working_set_bytes(), expect);
+}
+
+using Types = ::testing::Types<float, double>;
+template <class V>
+class VblKernels : public ::testing::Test {};
+TYPED_TEST_SUITE(VblKernels, Types);
+
+TYPED_TEST(VblKernels, ScalarMatchesReference) {
+  using V = TypeParam;
+  // Mix of long runs and isolated entries.
+  Coo<V> coo(60, 500);
+  Xoshiro256 rng(77);
+  for (index_t i = 0; i < 60; ++i) {
+    const auto start = static_cast<index_t>(rng.below(400));
+    const auto len = static_cast<index_t>(1 + rng.below(60));
+    for (index_t t = 0; t < len; ++t)
+      coo.add(i, start + t, static_cast<V>(0.1 + rng.uniform()));
+    coo.add(i, static_cast<index_t>(rng.below(500)),
+            static_cast<V>(0.1 + rng.uniform()));
+  }
+  coo.sort_and_combine();
+  const Vbl<V> m = Vbl<V>::from_csr(Csr<V>::from_coo(coo));
+  check_against_reference<V>(
+      coo, [&](const V* x, V* y) { spmv(m, x, y, Impl::kScalar); },
+      "vbl scalar");
+}
+
+TYPED_TEST(VblKernels, SimdMatchesReference) {
+  using V = TypeParam;
+  Coo<V> coo(40, 600);
+  Xoshiro256 rng(78);
+  for (index_t i = 0; i < 40; ++i) {
+    const auto start = static_cast<index_t>(rng.below(200));
+    const auto len = static_cast<index_t>(1 + rng.below(300));
+    for (index_t t = 0; t < len; ++t)
+      coo.add(i, start + t, static_cast<V>(0.1 + rng.uniform()));
+  }
+  coo.sort_and_combine();
+  const Vbl<V> m = Vbl<V>::from_csr(Csr<V>::from_coo(coo));
+  check_against_reference<V>(
+      coo, [&](const V* x, V* y) { spmv(m, x, y, Impl::kSimd); }, "vbl simd");
+}
+
+TYPED_TEST(VblKernels, EmptyMatrix) {
+  using V = TypeParam;
+  const Vbl<V> m = Vbl<V>::from_csr(Csr<V>::from_coo(Coo<V>(4, 4)));
+  EXPECT_EQ(m.blocks(), 0u);
+  const V x[4] = {1, 2, 3, 4};
+  V y[4];
+  spmv(m, x, y);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(y[i], V{0});
+}
+
+}  // namespace
+}  // namespace bspmv

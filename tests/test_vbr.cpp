@@ -1,0 +1,123 @@
+// VBR (extension format) tests: partition invariants — every stored block
+// is fully dense — plus kernel correctness.
+#include <gtest/gtest.h>
+
+#include "src/formats/vbr.hpp"
+#include "src/kernels/spmv.hpp"
+#include "src/kernels/vbr_kernels.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace bspmv {
+namespace {
+
+using bspmv::testing::check_against_reference;
+using bspmv::testing::random_blocky_coo;
+using bspmv::testing::random_coo;
+
+TEST(Vbr, GroupsIdenticalRows) {
+  // Rows 0-1 share support {0,1}; row 2 has {0,1,2}; rows 3-4 are empty.
+  Coo<double> coo(5, 4);
+  for (index_t i : {0, 1}) {
+    coo.add(i, 0, 1.0 + i);
+    coo.add(i, 1, 2.0 + i);
+  }
+  coo.add(2, 0, 5.0);
+  coo.add(2, 1, 6.0);
+  coo.add(2, 2, 7.0);
+  const Vbr<double> m = Vbr<double>::from_csr(Csr<double>::from_coo(coo));
+  // Block rows: {0,1}, {2}, {3,4}.
+  EXPECT_EQ(m.block_rows(), 3);
+  EXPECT_EQ(m.nnz(), 7u);  // no padding, every value stored once
+}
+
+TEST(Vbr, ValStoresExactlyNnz) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const Csr<double> a = Csr<double>::from_coo(
+        random_blocky_coo<double>(48, 48, 3, 0.3, 1.0, seed));
+    const Vbr<double> m = Vbr<double>::from_csr(a);
+    EXPECT_EQ(m.val().size(), a.nnz());  // dense blocks, no padding
+  }
+}
+
+TEST(Vbr, PartitionsAreConsistent) {
+  const Csr<double> a =
+      Csr<double>::from_coo(random_coo<double>(40, 45, 0.1, 4));
+  const Vbr<double> m = Vbr<double>::from_csr(a);
+  // Row partition covers [0, rows].
+  ASSERT_GE(m.rpntr().size(), 2u);
+  EXPECT_EQ(m.rpntr().front(), 0);
+  EXPECT_EQ(m.rpntr().back(), 40);
+  for (std::size_t i = 1; i < m.rpntr().size(); ++i)
+    EXPECT_GT(m.rpntr()[i], m.rpntr()[i - 1]);
+  // Column partition covers [0, cols].
+  EXPECT_EQ(m.cpntr().front(), 0);
+  EXPECT_EQ(m.cpntr().back(), 45);
+  for (std::size_t i = 1; i < m.cpntr().size(); ++i)
+    EXPECT_GT(m.cpntr()[i], m.cpntr()[i - 1]);
+  // bval_ptr consistent with block dims.
+  for (index_t br = 0; br < m.block_rows(); ++br) {
+    const index_t h = m.rpntr()[static_cast<std::size_t>(br) + 1] -
+                      m.rpntr()[static_cast<std::size_t>(br)];
+    for (index_t blk = m.brow_ptr()[static_cast<std::size_t>(br)];
+         blk < m.brow_ptr()[static_cast<std::size_t>(br) + 1]; ++blk) {
+      const index_t bc = m.bindx()[static_cast<std::size_t>(blk)];
+      const index_t w = m.cpntr()[static_cast<std::size_t>(bc) + 1] -
+                        m.cpntr()[static_cast<std::size_t>(bc)];
+      EXPECT_EQ(m.bval_ptr()[static_cast<std::size_t>(blk) + 1] -
+                    m.bval_ptr()[static_cast<std::size_t>(blk)],
+                h * w);
+    }
+  }
+}
+
+TEST(Vbr, RoundTripPreservesEntries) {
+  Coo<double> coo = random_blocky_coo<double>(36, 30, 2, 0.4, 1.0, 6);
+  coo.sort_and_combine();
+  Coo<double> back = Vbr<double>::from_csr(Csr<double>::from_coo(coo)).to_coo();
+  back.sort_and_combine();
+  ASSERT_EQ(back.nnz(), coo.nnz());
+  for (std::size_t k = 0; k < coo.nnz(); ++k)
+    EXPECT_DOUBLE_EQ(back.entries()[k].value, coo.entries()[k].value);
+}
+
+TEST(Vbr, DenseMatrixIsOneBlock) {
+  Coo<double> coo(8, 8);
+  for (index_t i = 0; i < 8; ++i)
+    for (index_t j = 0; j < 8; ++j) coo.add(i, j, 1.0 + i + j);
+  const Vbr<double> m = Vbr<double>::from_csr(Csr<double>::from_coo(coo));
+  EXPECT_EQ(m.block_rows(), 1);
+  EXPECT_EQ(m.blocks(), 1u);
+}
+
+using Types = ::testing::Types<float, double>;
+template <class V>
+class VbrKernels : public ::testing::Test {};
+TYPED_TEST_SUITE(VbrKernels, Types);
+
+TYPED_TEST(VbrKernels, ScalarMatchesReference) {
+  using V = TypeParam;
+  const Coo<V> coo = random_blocky_coo<V>(57, 49, 3, 0.25, 1.0, 8);
+  const Vbr<V> m = Vbr<V>::from_csr(Csr<V>::from_coo(coo));
+  check_against_reference<V>(
+      coo, [&](const V* x, V* y) { spmv(m, x, y, Impl::kScalar); },
+      "vbr scalar");
+}
+
+TYPED_TEST(VbrKernels, SimdMatchesReference) {
+  using V = TypeParam;
+  const Coo<V> coo = random_blocky_coo<V>(50, 64, 8, 0.3, 1.0, 9);
+  const Vbr<V> m = Vbr<V>::from_csr(Csr<V>::from_coo(coo));
+  check_against_reference<V>(
+      coo, [&](const V* x, V* y) { spmv(m, x, y, Impl::kSimd); }, "vbr simd");
+}
+
+TYPED_TEST(VbrKernels, IrregularMatrixMatchesReference) {
+  using V = TypeParam;
+  const Coo<V> coo = bspmv::testing::random_coo<V>(45, 52, 0.09, 10);
+  const Vbr<V> m = Vbr<V>::from_csr(Csr<V>::from_coo(coo));
+  check_against_reference<V>(
+      coo, [&](const V* x, V* y) { spmv(m, x, y); }, "vbr irregular");
+}
+
+}  // namespace
+}  // namespace bspmv
