@@ -85,14 +85,22 @@ SweepCache::SweepCache(std::string path, bool disabled)
     : path_(std::move(path)), disabled_(disabled) {
   if (disabled_) return;
   std::ifstream f(path_);
-  if (!f) return;
+  if (!f) return;  // absence is normal, not corruption
   std::ostringstream ss;
   ss << f.rdbuf();
   try {
     const Json j = Json::parse(ss.str());
-    for (const auto& [k, v] : j.as_object()) entries_[k] = v.as_number();
+    const auto& obj = j.as_object();
+    const auto version = obj.find(kSchemaKey);
+    if (version == obj.end() ||
+        static_cast<int>(version->second.as_number()) != kSchemaVersion)
+      throw validation_error("schema version mismatch; expected " +
+                             std::to_string(kSchemaVersion));
+    for (const auto& [k, v] : obj)
+      if (k != kSchemaKey) entries_[k] = v.as_number();
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "warning: ignoring corrupt sweep cache %s (%s)\n",
+    std::fprintf(stderr,
+                 "warning: ignoring sweep cache %s (%s); re-measuring\n",
                  path_.c_str(), e.what());
     entries_.clear();
   }
@@ -122,6 +130,7 @@ void SweepCache::put(const std::string& key, double seconds) {
 void SweepCache::save() {
   if (disabled_ || !dirty_) return;
   Json::Object o;
+  o[kSchemaKey] = kSchemaVersion;
   for (const auto& [k, v] : entries_) o[k] = v;
   std::ofstream f(path_);
   BSPMV_CHECK_MSG(static_cast<bool>(f),

@@ -54,6 +54,14 @@ const char* format_label(FormatKind kind);
 /// id, thread count, and the iteration count.
 class SweepCache {
  public:
+  /// Cache file schema version; a mismatch (or any corruption) logs a
+  /// one-line warning and falls back to re-measuring, same policy as
+  /// MachineProfile::try_load.
+  static constexpr int kSchemaVersion = 2;
+  /// Reserved key the version is stored under (never a sweep_key: those
+  /// always contain '/').
+  static constexpr const char* kSchemaKey = "__schema_version";
+
   SweepCache(std::string path, bool disabled);
   ~SweepCache();  // saves on destruction (best effort)
 

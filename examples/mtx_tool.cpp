@@ -17,10 +17,13 @@
 #include "src/io/matrix_market.hpp"
 #include "src/profile/block_profiler.hpp"
 #include "src/util/cli.hpp"
+#include "src/util/errors.hpp"
 
 using namespace bspmv;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   CliParser cli;
   cli.add_option("suite", "0", "use suite matrix id 1..30 instead of a file");
   cli.add_option("scale", "small", "suite scale (with --suite)");
@@ -104,4 +107,18 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Every deliberate library failure derives from bspmv::error, so one
+  // handler turns any of them (parse, validation, resource limit) into a
+  // clean diagnostic instead of std::terminate.
+  try {
+    return run(argc, argv);
+  } catch (const bspmv::error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -1,5 +1,8 @@
 #include "src/core/executor.hpp"
 
+#include <new>
+
+#include "src/formats/validate.hpp"
 #include "src/util/macros.hpp"
 #include "src/util/prng.hpp"
 
@@ -66,6 +69,20 @@ std::size_t AnyFormat<V>::working_set_bytes() const {
 }
 
 template <class V>
+void AnyFormat<V>::validate() const {
+  std::visit(
+      [](const auto& m) {
+        if constexpr (std::is_same_v<std::decay_t<decltype(m)>,
+                                     std::monostate>) {
+          throw validation_error("AnyFormat: empty");
+        } else {
+          bspmv::validate(m);
+        }
+      },
+      m_);
+}
+
+template <class V>
 void AnyFormat<V>::run(const V* x, V* y) const {
   const Impl impl = c_.impl;
   std::visit(
@@ -78,6 +95,48 @@ void AnyFormat<V>::run(const V* x, V* y) const {
         }
       },
       m_);
+}
+
+template <class V>
+std::optional<AnyFormat<V>> try_convert(const Csr<V>& a, const Candidate& c,
+                                        std::string* reason) {
+  try {
+    AnyFormat<V> f = AnyFormat<V>::convert(a, c);
+    f.validate();
+    return f;
+  } catch (const error& e) {
+    if (reason) *reason = e.what();
+  } catch (const std::bad_alloc&) {
+    if (reason) *reason = "allocation failed";
+  }
+  return std::nullopt;
+}
+
+template <class V>
+PreparedExecutor<V> try_prepare(const Csr<V>& a,
+                                const std::vector<Candidate>& ranked) {
+  // Garbage in, typed error out: no candidate can be correct if the
+  // source matrix itself is corrupt.
+  bspmv::validate(a);
+
+  PreparedExecutor<V> out;
+  for (const Candidate& c : ranked) {
+    std::string reason;
+    if (auto f = try_convert(a, c, &reason)) {
+      out.format = std::move(*f);
+      return out;
+    }
+    out.failures.push_back(PrepareFailure{c, std::move(reason)});
+  }
+
+  // Degenerate 1×1 case: scalar CSR. The convert is a copy of the
+  // already-validated input, so it cannot fail.
+  Candidate csr;
+  csr.kind = FormatKind::kCsr;
+  csr.impl = Impl::kScalar;
+  out.format = AnyFormat<V>::convert(a, csr);
+  out.fallback = true;
+  return out;
 }
 
 namespace {
@@ -212,6 +271,10 @@ std::vector<double> measure_threaded_multi(const Csr<V>& a,
 
 #define BSPMV_INST(V)                                                       \
   template class AnyFormat<V>;                                              \
+  template std::optional<AnyFormat<V>> try_convert(                         \
+      const Csr<V>&, const Candidate&, std::string*);                       \
+  template PreparedExecutor<V> try_prepare(const Csr<V>&,                   \
+                                           const std::vector<Candidate>&);  \
   template double measure_spmv_seconds(const AnyFormat<V>&,                 \
                                        const MeasureOptions&);              \
   template std::vector<MeasuredCandidate> measure_candidates(               \

@@ -7,6 +7,8 @@
 // Tables II–IV compare against.
 #pragma once
 
+#include <optional>
+#include <string>
 #include <variant>
 #include <vector>
 
@@ -28,6 +30,10 @@ class AnyFormat {
   index_t cols() const;
   std::size_t working_set_bytes() const;
 
+  /// Deep structural check of the materialised format; throws
+  /// validation_error if any invariant is broken.
+  void validate() const;
+
   /// y = A·x with the candidate's kernel implementation.
   void run(const V* x, V* y) const;
 
@@ -37,6 +43,44 @@ class AnyFormat {
                BcsrDec<V>, BcsdDec<V>, Ubcsr<V>, CsrDelta<V>>
       m_;
 };
+
+// ----------------------------------------------------------------------
+// Fault-tolerant preparation
+// ----------------------------------------------------------------------
+
+/// Why one candidate could not be materialised.
+struct PrepareFailure {
+  Candidate candidate;
+  std::string reason;
+};
+
+/// A guaranteed-runnable executor plus the audit trail of every candidate
+/// that had to be skipped on the way to it.
+template <class V>
+struct PreparedExecutor {
+  AnyFormat<V> format;
+  /// True when every requested candidate failed and the executor degraded
+  /// to the paper's 1×1 case: plain scalar CSR.
+  bool fallback = false;
+  std::vector<PrepareFailure> failures;
+};
+
+/// Convert + validate one candidate, capturing any bspmv::error (or
+/// allocation failure) instead of throwing. On failure returns nullopt
+/// and, when `reason` is non-null, stores the failure message.
+template <class V>
+std::optional<AnyFormat<V>> try_convert(const Csr<V>& a, const Candidate& c,
+                                        std::string* reason = nullptr);
+
+/// Walk `ranked` in order and return the first candidate that converts and
+/// validates; every failure is recorded and skipped. If all candidates
+/// fail, degrades to scalar CSR — which cannot fail for a valid input, so
+/// a correct executor is always returned. The input matrix itself is
+/// validated up front; a corrupt input throws validation_error (there is
+/// no correct executor for garbage).
+template <class V>
+PreparedExecutor<V> try_prepare(const Csr<V>& a,
+                                const std::vector<Candidate>& ranked);
 
 struct MeasureOptions {
   int iterations = 20;  ///< SpMVs per timed batch (paper used 100)
@@ -78,6 +122,10 @@ std::vector<double> measure_threaded_multi(const Csr<V>& a,
 
 #define BSPMV_DECL(V)                                                      \
   extern template class AnyFormat<V>;                                      \
+  extern template std::optional<AnyFormat<V>> try_convert(                 \
+      const Csr<V>&, const Candidate&, std::string*);                      \
+  extern template PreparedExecutor<V> try_prepare(                         \
+      const Csr<V>&, const std::vector<Candidate>&);                       \
   extern template double measure_spmv_seconds(const AnyFormat<V>&,         \
                                               const MeasureOptions&);      \
   extern template std::vector<MeasuredCandidate> measure_candidates(       \

@@ -40,11 +40,23 @@ RankedCandidate select_best(ModelKind model, const Csr<V>& a,
   return ranked.front();
 }
 
+template <class V>
+PreparedExecutor<V> select_and_prepare(ModelKind model, const Csr<V>& a,
+                                       const MachineProfile& profile) {
+  const auto ranked = rank_candidates(model, a, profile);
+  std::vector<Candidate> candidates;
+  candidates.reserve(ranked.size());
+  for (const RankedCandidate& rc : ranked) candidates.push_back(rc.candidate);
+  return try_prepare(a, candidates);
+}
+
 #define BSPMV_INST(V)                                           \
   template std::vector<RankedCandidate> rank_candidates(        \
       ModelKind, const Csr<V>&, const MachineProfile&);         \
   template RankedCandidate select_best(ModelKind, const Csr<V>&, \
-                                       const MachineProfile&);
+                                       const MachineProfile&);  \
+  template PreparedExecutor<V> select_and_prepare(              \
+      ModelKind, const Csr<V>&, const MachineProfile&);
 BSPMV_INST(float)
 BSPMV_INST(double)
 #undef BSPMV_INST

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "src/core/executor.hpp"
 #include "src/core/models.hpp"
 
 namespace bspmv {
@@ -28,11 +29,23 @@ template <class V>
 RankedCandidate select_best(ModelKind model, const Csr<V>& a,
                             const MachineProfile& profile);
 
+/// Fault-tolerant selection: rank with the model, then materialise the
+/// best candidate that actually converts and validates, falling back to
+/// scalar CSR when every candidate fails (resource-guard trips, padding
+/// blowups, unsupported combinations). Always returns a correct,
+/// runnable executor for a valid input matrix; the skipped candidates
+/// and their failure reasons ride along for observability.
+template <class V>
+PreparedExecutor<V> select_and_prepare(ModelKind model, const Csr<V>& a,
+                                       const MachineProfile& profile);
+
 #define BSPMV_DECL(V)                                                  \
   extern template std::vector<RankedCandidate> rank_candidates(        \
       ModelKind, const Csr<V>&, const MachineProfile&);                \
   extern template RankedCandidate select_best(ModelKind, const Csr<V>&, \
-                                              const MachineProfile&);
+                                              const MachineProfile&);  \
+  extern template PreparedExecutor<V> select_and_prepare(              \
+      ModelKind, const Csr<V>&, const MachineProfile&);
 BSPMV_DECL(float)
 BSPMV_DECL(double)
 #undef BSPMV_DECL

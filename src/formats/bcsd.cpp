@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/formats/conversion_guard.hpp"
 #include "src/util/macros.hpp"
 
 namespace bspmv {
@@ -50,8 +51,14 @@ Bcsd<V> Bcsd<V>::from_csr(const Csr<V>& a, int b) {
   }
 
   const std::size_t ndiags = static_cast<std::size_t>(out.brow_ptr_.back());
+  const std::size_t stored =
+      ConversionGuard::mul("bcsd", ndiags, static_cast<std::size_t>(b));
+  ConversionGuard::check("bcsd", stored, a.nnz(), sizeof(V),
+                         (out.brow_ptr_.size() + ndiags +
+                          out.full_diags_.size()) *
+                             sizeof(index_t));
   out.bcol_ind_.resize(ndiags);
-  out.bval_.assign(ndiags * static_cast<std::size_t>(b), V{0});
+  out.bval_.assign(stored, V{0});
 
   // Pass 2: order diagonals (full first), fill bcol_ind and scatter values.
   std::vector<long long> ordered;

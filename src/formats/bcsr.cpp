@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/formats/conversion_guard.hpp"
 #include "src/util/macros.hpp"
 
 namespace bspmv {
@@ -43,10 +44,13 @@ Bcsr<V> Bcsr<V>::from_csr(const Csr<V>& a, BlockShape shape) {
 
   const std::size_t nblocks =
       static_cast<std::size_t>(out.brow_ptr_.back());
+  const std::size_t stored = ConversionGuard::mul(
+      "bcsr", nblocks,
+      static_cast<std::size_t>(r) * static_cast<std::size_t>(c));
+  ConversionGuard::check("bcsr", stored, a.nnz(), sizeof(V),
+                         (out.brow_ptr_.size() + nblocks) * sizeof(index_t));
   out.bcol_ind_.resize(nblocks);
-  out.bval_.assign(nblocks * static_cast<std::size_t>(r) *
-                       static_cast<std::size_t>(c),
-                   V{0});
+  out.bval_.assign(stored, V{0});
 
   // Pass 2: fill bcol_ind and scatter values into padded blocks.
   for (index_t br = 0; br < out.block_rows_; ++br) {

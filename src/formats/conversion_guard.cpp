@@ -1,0 +1,79 @@
+#include "src/formats/conversion_guard.hpp"
+
+#include <limits>
+#include <sstream>
+
+namespace bspmv {
+
+namespace {
+ConversionLimits g_limits;
+}  // namespace
+
+const ConversionLimits& ConversionGuard::limits() { return g_limits; }
+
+ConversionLimits ConversionGuard::set_limits(const ConversionLimits& l) {
+  ConversionLimits prev = g_limits;
+  g_limits = l;
+  return prev;
+}
+
+void ConversionGuard::check(const char* format, std::size_t stored_elems,
+                            std::size_t nnz, std::size_t elem_bytes,
+                            std::size_t index_bytes) {
+  const ConversionLimits& lim = g_limits;
+
+  // Byte budget, overflow-safe: stored_elems * elem_bytes must neither
+  // wrap nor exceed the cap once index arrays are added.
+  if (elem_bytes != 0 &&
+      stored_elems > std::numeric_limits<std::size_t>::max() / elem_bytes) {
+    std::ostringstream os;
+    os << format << " conversion: stored size overflows size_t ("
+       << stored_elems << " elements of " << elem_bytes << " bytes)";
+    throw resource_limit_error(os.str());
+  }
+  const std::size_t value_bytes = stored_elems * elem_bytes;
+  if (value_bytes > lim.max_bytes - std::min(index_bytes, lim.max_bytes) ||
+      index_bytes > lim.max_bytes) {
+    std::ostringstream os;
+    os << format << " conversion: " << value_bytes + index_bytes
+       << " bytes exceed the " << lim.max_bytes
+       << "-byte conversion budget";
+    throw resource_limit_error(os.str());
+  }
+
+  // Fill-ratio cap: stored elements (nonzeros + padding) per nonzero.
+  if (nnz > 0) {
+    const double fill =
+        static_cast<double>(stored_elems) / static_cast<double>(nnz);
+    if (fill > lim.max_fill_ratio) {
+      std::ostringstream os;
+      os << format << " conversion: fill ratio " << fill
+         << " (stored " << stored_elems << " for " << nnz
+         << " nonzeros) exceeds cap " << lim.max_fill_ratio;
+      throw resource_limit_error(os.str());
+    }
+  }
+}
+
+std::size_t ConversionGuard::mul(const char* format, std::size_t a,
+                                 std::size_t b) {
+  if (b != 0 && a > std::numeric_limits<std::size_t>::max() / b) {
+    std::ostringstream os;
+    os << format << " conversion: " << a << " * " << b
+       << " overflows size_t";
+    throw resource_limit_error(os.str());
+  }
+  return a * b;
+}
+
+void ConversionGuard::check_index_width(const char* format, const char* what,
+                                        std::size_t count) {
+  if (count > static_cast<std::size_t>(std::numeric_limits<index_t>::max())) {
+    std::ostringstream os;
+    os << format << ": " << what << " (" << count
+       << ") overflows the 4-byte index type";
+    throw resource_limit_error(os.str());
+  }
+}
+
+}  // namespace bspmv

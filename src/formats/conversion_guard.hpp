@@ -1,0 +1,74 @@
+// Resource guard for format conversions.
+//
+// Blocked conversions can blow up even when the source matrix is small:
+// BCSR on a scattered matrix stores r·c padded values per nonzero, BCSD
+// stores b, and a hostile Matrix Market file can declare dimensions that
+// overflow the 4-byte index_t. Every from_csr conversion consults the
+// process-wide ConversionGuard before its large allocations, so a blowup
+// surfaces as a typed resource_limit_error the executor can turn into a
+// CSR fallback — never an OOM kill or a silently wrapped index.
+#pragma once
+
+#include <cstddef>
+
+#include "src/formats/common.hpp"
+#include "src/util/errors.hpp"
+
+namespace bspmv {
+
+/// Budgets enforced on each individual conversion.
+struct ConversionLimits {
+  /// Upper bound on the bytes of matrix arrays a single conversion may
+  /// allocate. The default is far above any realistic working set: its
+  /// job is to turn would-be OOM/overflow into a typed error, not to
+  /// second-guess ordinary conversions.
+  std::size_t max_bytes = std::size_t{1} << 40;  // 1 TiB
+
+  /// Upper bound on stored elements (nonzeros + padding) per source
+  /// nonzero. The worst legitimate candidate fill is r·c = 64 (an 8×8
+  /// block holding a single nonzero), so the default never trips the
+  /// paper's candidate set; services cap it far lower via Scope.
+  double max_fill_ratio = 1024.0;
+};
+
+class ConversionGuard {
+ public:
+  /// The limits every conversion currently enforces.
+  static const ConversionLimits& limits();
+
+  /// Replace the process-wide limits; returns the previous ones. Not
+  /// thread-safe against concurrent conversions — set limits up front or
+  /// use Scope around a single-threaded section.
+  static ConversionLimits set_limits(const ConversionLimits& l);
+
+  /// RAII override: applies `l` for the lifetime of the scope.
+  class Scope {
+   public:
+    explicit Scope(const ConversionLimits& l) : prev_(set_limits(l)) {}
+    ~Scope() { set_limits(prev_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ConversionLimits prev_;
+  };
+
+  /// Admission check for a conversion that will store `stored_elems`
+  /// values of `elem_bytes` each (plus `index_bytes` of indexing arrays)
+  /// on behalf of `nnz` source nonzeros. Throws resource_limit_error when
+  /// the byte budget or the fill-ratio cap would be exceeded. All
+  /// arithmetic is overflow-safe.
+  static void check(const char* format, std::size_t stored_elems,
+                    std::size_t nnz, std::size_t elem_bytes,
+                    std::size_t index_bytes = 0);
+
+  /// Throws resource_limit_error when `count` (an array length or matrix
+  /// dimension named `what`) cannot be represented by index_t.
+  static void check_index_width(const char* format, const char* what,
+                                std::size_t count);
+
+  /// a*b, throwing resource_limit_error instead of wrapping on overflow.
+  static std::size_t mul(const char* format, std::size_t a, std::size_t b);
+};
+
+}  // namespace bspmv

@@ -1,5 +1,6 @@
 #include "src/formats/csr.hpp"
 
+#include "src/formats/conversion_guard.hpp"
 #include "src/util/macros.hpp"
 
 namespace bspmv {
@@ -10,6 +11,10 @@ Csr<V> Csr<V>::from_coo(Coo<V> coo) {
   const index_t n = coo.rows();
   const index_t m = coo.cols();
   const std::size_t nnz = coo.nnz();
+  ConversionGuard::check_index_width("csr", "nnz", nnz);
+  ConversionGuard::check("csr", nnz, nnz, sizeof(V),
+                         (static_cast<std::size_t>(n) + 1 + nnz) *
+                             sizeof(index_t));
 
   aligned_vector<index_t> row_ptr(static_cast<std::size_t>(n) + 1, 0);
   aligned_vector<index_t> col_ind(nnz);

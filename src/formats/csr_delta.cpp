@@ -1,5 +1,6 @@
 #include "src/formats/csr_delta.hpp"
 
+#include "src/formats/conversion_guard.hpp"
 #include "src/util/macros.hpp"
 
 namespace bspmv {
@@ -30,6 +31,10 @@ BSPMV_ALWAYS_INLINE std::uint32_t get_varint(
 
 template <class V>
 CsrDelta<V> CsrDelta<V>::from_csr(const Csr<V>& a) {
+  // Worst case is five control bytes per nonzero (a 32-bit varint).
+  ConversionGuard::check("csr_delta", a.nnz(), a.nnz(), sizeof(V),
+                         5 * a.nnz() + 2 * (static_cast<std::size_t>(a.rows()) + 1) *
+                             sizeof(index_t));
   const index_t n = a.rows();
   const auto& row_ptr = a.row_ptr();
   const auto& col_ind = a.col_ind();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "src/formats/conversion_guard.hpp"
 #include "src/util/macros.hpp"
 
 namespace bspmv {
@@ -71,10 +72,13 @@ Ubcsr<V> Ubcsr<V>::from_csr(const Csr<V>& a, BlockShape shape) {
   }
 
   const std::size_t nblocks = static_cast<std::size_t>(out.brow_ptr_.back());
+  const std::size_t stored = ConversionGuard::mul(
+      "ubcsr", nblocks,
+      static_cast<std::size_t>(r) * static_cast<std::size_t>(c));
+  ConversionGuard::check("ubcsr", stored, a.nnz(), sizeof(V),
+                         (out.brow_ptr_.size() + nblocks) * sizeof(index_t));
   out.bcol_ind_.resize(nblocks);
-  out.bval_.assign(nblocks * static_cast<std::size_t>(r) *
-                       static_cast<std::size_t>(c),
-                   V{0});
+  out.bval_.assign(stored, V{0});
 
   // Pass 2: record anchors and scatter values.
   for (index_t br = 0; br < out.block_rows_; ++br) {

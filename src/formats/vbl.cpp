@@ -1,11 +1,16 @@
 #include "src/formats/vbl.hpp"
 
+#include "src/formats/conversion_guard.hpp"
 #include "src/util/macros.hpp"
 
 namespace bspmv {
 
 template <class V>
 Vbl<V> Vbl<V>::from_csr(const Csr<V>& a) {
+  // No padding is ever stored, but the (worst-case one-per-nonzero) block
+  // arrays still count against the byte budget.
+  ConversionGuard::check("vbl", a.nnz(), a.nnz(), sizeof(V),
+                         a.nnz() * (sizeof(index_t) + sizeof(blk_size_t)));
   const index_t n = a.rows();
   const auto& row_ptr = a.row_ptr();
   const auto& col_ind = a.col_ind();

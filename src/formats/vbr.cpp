@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "src/formats/conversion_guard.hpp"
 #include "src/util/macros.hpp"
 
 namespace bspmv {
@@ -21,6 +22,10 @@ std::span<const index_t> row_cols(const Csr<V>& a, index_t i) {
 
 template <class V>
 Vbr<V> Vbr<V>::from_csr(const Csr<V>& a) {
+  // Blocks are all-nonzero by construction; the worst case is one block
+  // (and three index entries) per nonzero.
+  ConversionGuard::check("vbr", a.nnz(), a.nnz(), sizeof(V),
+                         3 * a.nnz() * sizeof(index_t));
   const index_t n = a.rows();
   const index_t m = a.cols();
 

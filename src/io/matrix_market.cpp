@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "src/util/macros.hpp"
@@ -50,45 +51,92 @@ Header parse_header(const std::string& line) {
 
 }  // namespace
 
+namespace {
+
+[[noreturn]] void fail_at(long long line_no, const std::string& what) {
+  throw parse_error("MatrixMarket: line " + std::to_string(line_no) + ": " +
+                    what);
+}
+
+bool is_blank(const std::string& line) {
+  return line.find_first_not_of(" \t\r\n") == std::string::npos;
+}
+
+}  // namespace
+
 template <class V>
 Coo<V> parse_matrix_market(std::istream& in) {
   std::string line;
-  if (!std::getline(in, line))
-    throw parse_error("MatrixMarket: empty input");
+  long long line_no = 0;
+  auto next_line = [&](std::string& out) {
+    if (!std::getline(in, out)) return false;
+    ++line_no;
+    return true;
+  };
+
+  if (!next_line(line)) throw parse_error("MatrixMarket: empty input");
   const Header h = parse_header(line);
 
   // Skip comment lines.
   do {
-    if (!std::getline(in, line))
-      throw parse_error("MatrixMarket: missing size line");
+    if (!next_line(line)) fail_at(line_no, "missing size line");
   } while (!line.empty() && line[0] == '%');
 
   long long rows = 0, cols = 0, entries = 0;
   {
     std::istringstream is(line);
-    if (!(is >> rows >> cols >> entries))
-      throw parse_error("MatrixMarket: malformed size line");
+    std::string extra;
+    if (!(is >> rows >> cols >> entries) || (is >> extra))
+      fail_at(line_no, "malformed size line '" + line + '\'');
   }
   if (rows < 0 || cols < 0 || entries < 0)
-    throw parse_error("MatrixMarket: negative dimensions");
+    fail_at(line_no, "negative dimensions");
+  constexpr long long kMaxDim = std::numeric_limits<index_t>::max();
+  if (rows > kMaxDim || cols > kMaxDim)
+    fail_at(line_no, "dimensions overflow the 4-byte index type");
+  // Both dims fit in 31 bits, so rows*cols cannot overflow long long.
+  if (entries > rows * cols)
+    fail_at(line_no, "declared entry count " + std::to_string(entries) +
+                         " exceeds rows*cols");
 
   Coo<V> coo(static_cast<index_t>(rows), static_cast<index_t>(cols));
   coo.reserve(static_cast<std::size_t>(h.symmetric ? 2 * entries : entries));
 
   for (long long e = 0; e < entries; ++e) {
+    do {
+      if (!next_line(line))
+        fail_at(line_no, "truncated entry list: got " + std::to_string(e) +
+                             " of " + std::to_string(entries) + " entries");
+    } while (is_blank(line));
+
+    std::istringstream is(line);
     long long i = 0, j = 0;
     double v = 1.0;
-    if (!(in >> i >> j))
-      throw parse_error("MatrixMarket: truncated entry list");
-    if (!h.pattern && !(in >> v))
-      throw parse_error("MatrixMarket: entry missing value");
+    std::string extra;
+    if (!(is >> i >> j)) fail_at(line_no, "malformed entry '" + line + '\'');
+    if (!h.pattern && !(is >> v))
+      fail_at(line_no, "entry missing numeric value: '" + line + '\'');
+    if (is >> extra)
+      fail_at(line_no, "trailing tokens after entry: '" + line + '\'');
     if (i < 1 || i > rows || j < 1 || j > cols)
-      throw parse_error("MatrixMarket: entry index out of bounds");
+      fail_at(line_no, "entry (" + std::to_string(i) + ", " +
+                           std::to_string(j) + ") outside declared " +
+                           std::to_string(rows) + "x" + std::to_string(cols));
+    if (h.skew && i == j)
+      fail_at(line_no, "diagonal entry in a skew-symmetric matrix");
     const index_t r = static_cast<index_t>(i - 1);
     const index_t c = static_cast<index_t>(j - 1);
     coo.add(r, c, static_cast<V>(v));
     if (h.symmetric && r != c)
       coo.add(c, r, static_cast<V>(h.skew ? -v : v));
+  }
+
+  // Anything but blank lines or comments after the declared entries means
+  // the size line lied about the entry count.
+  while (next_line(line)) {
+    if (is_blank(line) || line[0] == '%') continue;
+    fail_at(line_no, "more entries than the declared " +
+                         std::to_string(entries));
   }
   return coo;
 }

@@ -1,5 +1,6 @@
 #include "src/profile/machine_profile.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -52,6 +53,7 @@ std::map<std::string, KernelProfile> kernels_from_json(const Json& j) {
 
 Json MachineProfile::to_json() const {
   Json j;
+  j["schema_version"] = kSchemaVersion;
   j["bandwidth_bps"] = bandwidth_bps;
   j["read_bandwidth_bps"] = read_bandwidth_bps;
   j["latency_seconds"] = latency_seconds;
@@ -64,6 +66,15 @@ Json MachineProfile::to_json() const {
 }
 
 MachineProfile MachineProfile::from_json(const Json& j) {
+  const int version =
+      j.contains("schema_version")
+          ? static_cast<int>(j.at("schema_version").as_number())
+          : 1;
+  if (version != kSchemaVersion)
+    throw validation_error(
+        "machine profile schema version " + std::to_string(version) +
+        " does not match expected " + std::to_string(kSchemaVersion) +
+        "; re-profiling required");
   MachineProfile p;
   p.bandwidth_bps = j.at("bandwidth_bps").as_number();
   p.read_bandwidth_bps = j.at("read_bandwidth_bps").as_number();
@@ -96,9 +107,16 @@ MachineProfile MachineProfile::load(const std::string& path) {
 
 std::optional<MachineProfile> MachineProfile::try_load(
     const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;  // absence is normal, not corruption
+  std::ostringstream ss;
+  ss << f.rdbuf();
   try {
-    return load(path);
-  } catch (const std::exception&) {
+    return from_json(Json::parse(ss.str()));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "warning: ignoring machine profile %s (%s); re-profiling\n",
+                 path.c_str(), e.what());
     return std::nullopt;
   }
 }

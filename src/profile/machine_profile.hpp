@@ -26,6 +26,11 @@ struct KernelProfile {
 
 class MachineProfile {
  public:
+  /// Serialisation schema version. Bump when the JSON layout or the
+  /// meaning of any profiled quantity changes; try_load treats a version
+  /// mismatch as "stale profile" and triggers re-profiling.
+  static constexpr int kSchemaVersion = 2;
+
   double bandwidth_bps = 0.0;       ///< STREAM triad bytes/second
   double read_bandwidth_bps = 0.0;  ///< read-only bytes/second
   double latency_seconds = 0.0;     ///< dependent-load miss latency
@@ -56,7 +61,10 @@ class MachineProfile {
 
   void save(const std::string& path) const;
   static MachineProfile load(const std::string& path);
-  /// Load if `path` exists and parses; otherwise nullopt.
+  /// Load if `path` exists, parses and carries the current schema
+  /// version; otherwise nullopt (the caller re-profiles). A missing file
+  /// is silent; a corrupt or version-mismatched one logs a one-line
+  /// warning to stderr — silent-corruption recovery hides real bugs.
   static std::optional<MachineProfile> try_load(const std::string& path);
 
  private:

@@ -1,0 +1,66 @@
+// Typed error taxonomy for the whole library.
+//
+// Every failure the library can surface derives from bspmv::error, so a
+// caller that must never crash (the executor's try_prepare path, the
+// bench harness, a long-running service loop) can catch one type and
+// decide between "reject this input" and "degrade to the CSR fallback":
+//
+//   error
+//   ├── invalid_argument_error   caller broke a documented precondition
+//   ├── parse_error              malformed external text (MM files, JSON)
+//   ├── validation_error         a format's structural invariants are broken
+//   └── conversion_error         a format conversion cannot be completed
+//       └── resource_limit_error a ConversionGuard budget was exceeded
+//                                (padding fill blowup, memory cap, index
+//                                width overflow) — the matrix itself is
+//                                fine, only this candidate is infeasible
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bspmv {
+
+/// Root of the typed error taxonomy; everything the library throws on
+/// purpose derives from this.
+class error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a matrix or format argument violates a documented
+/// precondition (BSPMV_CHECK).
+class invalid_argument_error : public error {
+ public:
+  using error::error;
+};
+
+/// Thrown when an input file (e.g. Matrix Market or JSON) is malformed.
+class parse_error : public error {
+ public:
+  using error::error;
+};
+
+/// Thrown by validate() when a materialised format violates a structural
+/// invariant (non-monotone row pointers, out-of-range indices, array size
+/// mismatches) — i.e. the object is corrupt, not merely unusual.
+class validation_error : public error {
+ public:
+  using error::error;
+};
+
+/// Thrown when a format conversion cannot be completed for this input.
+class conversion_error : public error {
+ public:
+  using error::error;
+};
+
+/// Thrown by ConversionGuard when a conversion would exceed its memory
+/// budget, padding fill-ratio cap, or the index type's range. Callers
+/// treat this as "skip the candidate", not "reject the matrix".
+class resource_limit_error : public conversion_error {
+ public:
+  using conversion_error::conversion_error;
+};
+
+}  // namespace bspmv

@@ -6,22 +6,11 @@
 #pragma once
 
 #include <sstream>
-#include <stdexcept>
 #include <string>
 
+#include "src/util/errors.hpp"
+
 namespace bspmv {
-
-/// Thrown when a matrix or format argument violates a documented precondition.
-class invalid_argument_error : public std::invalid_argument {
- public:
-  using std::invalid_argument::invalid_argument;
-};
-
-/// Thrown when an input file (e.g. Matrix Market) is malformed.
-class parse_error : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
 
 namespace detail {
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file,

@@ -1,0 +1,143 @@
+// Fault-injection harness: deterministic corpora of corrupted artifacts
+// (Matrix Market text, JSON documents, in-memory CSR structures) plus
+// helpers asserting the library's fault contract — every injected fault
+// either surfaces as a typed bspmv::error or degrades to a numerically
+// correct CSR run. Anything else (foreign exception, crash, wrong
+// answer) is a test failure.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/formats/csr.hpp"
+#include "src/util/errors.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace bspmv::testing {
+
+/// Deterministic single-document corruptions of `base`: truncations at
+/// several depths, token-level damage (digits -> letters, sign flips),
+/// deleted and duplicated lines, and injected huge numbers. Every
+/// variant differs from `base`.
+inline std::vector<std::string> text_corruptions(const std::string& base) {
+  std::vector<std::string> out;
+
+  // Truncations at 0%, 10%, ..., 90% plus "all but one byte".
+  for (int pct = 0; pct < 100; pct += 10)
+    out.push_back(base.substr(0, base.size() * static_cast<std::size_t>(pct) / 100));
+  if (!base.empty()) out.push_back(base.substr(0, base.size() - 1));
+
+  // Replace each digit class with garbage at its first occurrence.
+  for (char garbage : {'x', '?', '-'}) {
+    std::string s = base;
+    const std::size_t pos = s.find_first_of("0123456789");
+    if (pos != std::string::npos) {
+      s[pos] = garbage;
+      out.push_back(std::move(s));
+    }
+  }
+
+  // Delete / duplicate each line once.
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < base.size()) {
+    std::size_t end = base.find('\n', start);
+    if (end == std::string::npos) end = base.size();
+    lines.push_back(base.substr(start, end - start));
+    start = end + 1;
+  }
+  for (std::size_t drop = 0; drop < lines.size(); ++drop) {
+    std::string s;
+    for (std::size_t i = 0; i < lines.size(); ++i)
+      if (i != drop) s += lines[i] + '\n';
+    out.push_back(std::move(s));
+  }
+  for (std::size_t dup = 0; dup < lines.size(); ++dup) {
+    std::string s;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      s += lines[i] + '\n';
+      if (i == dup) s += lines[i] + '\n';
+    }
+    out.push_back(std::move(s));
+  }
+
+  // Inject a number that overflows 32-bit indices into the first numeric
+  // token, and an absurd exponent into the last one.
+  {
+    std::string s = base;
+    const std::size_t pos = s.find_first_of("0123456789");
+    if (pos != std::string::npos) {
+      s.insert(pos, "3000000000");
+      out.push_back(std::move(s));
+    }
+  }
+  {
+    std::string s = base;
+    const std::size_t pos = s.find_last_of("0123456789");
+    if (pos != std::string::npos) {
+      s.insert(pos + 1, "e99999");
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+/// Run `consume` over every corrupted variant; PASS iff each either
+/// succeeds (some corruptions are benign) or throws a typed
+/// bspmv::error. Foreign exceptions are reported with the offending
+/// variant's index and content.
+template <class Fn>
+void expect_typed_errors_only(const std::vector<std::string>& corpus,
+                              Fn consume, const std::string& context) {
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    try {
+      consume(corpus[i]);
+    } catch (const error&) {
+      // Typed failure: the contract holds.
+    } catch (const std::exception& e) {
+      FAIL() << context << ": variant " << i
+             << " escaped the bspmv::error taxonomy with '" << e.what()
+             << "'\n--- variant ---\n"
+             << corpus[i];
+    }
+  }
+}
+
+/// In-memory CSR corruptions. The only mutable handle a valid Csr
+/// exposes is mutable_col_ind(), which is exactly the array the paper's
+/// kernels chase — corrupt it in ways validate() must catch.
+enum class CsrFault {
+  kColumnPastEnd,   ///< col_ind[k] = cols (one past the valid range)
+  kColumnNegative,  ///< col_ind[k] = -1
+  kColumnHuge,      ///< col_ind[k] = index_t max (index overflow bait)
+};
+
+inline const char* csr_fault_name(CsrFault f) {
+  switch (f) {
+    case CsrFault::kColumnPastEnd: return "column-past-end";
+    case CsrFault::kColumnNegative: return "column-negative";
+    case CsrFault::kColumnHuge: return "column-huge";
+  }
+  return "?";
+}
+
+/// Apply `fault` to the entry at position `pos` (clamped); returns false
+/// when the matrix has no entries to corrupt.
+template <class V>
+bool inject_csr_fault(Csr<V>& a, CsrFault fault, std::size_t pos = 0) {
+  auto& col = a.mutable_col_ind();
+  if (col.empty()) return false;
+  pos = std::min(pos, col.size() - 1);
+  switch (fault) {
+    case CsrFault::kColumnPastEnd: col[pos] = a.cols(); break;
+    case CsrFault::kColumnNegative: col[pos] = -1; break;
+    case CsrFault::kColumnHuge:
+      col[pos] = std::numeric_limits<index_t>::max();
+      break;
+  }
+  return true;
+}
+
+}  // namespace bspmv::testing

@@ -1,0 +1,279 @@
+// Fault-injection tests: systematically corrupt every external artifact
+// the pipeline consumes (Matrix Market streams, profile/cache JSON,
+// in-memory CSR structures) and starve conversions of resources,
+// asserting the library's fault contract — a typed bspmv::error or a
+// numerically correct CSR fallback, never a crash, foreign exception,
+// or silently wrong answer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/core/selector.hpp"
+#include "src/formats/bcsr.hpp"
+#include "src/formats/conversion_guard.hpp"
+#include "src/formats/validate.hpp"
+#include "src/io/matrix_market.hpp"
+#include "src/profile/machine_profile.hpp"
+#include "src/util/errors.hpp"
+#include "tests/fault_injection.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace bspmv {
+namespace {
+
+using bspmv::testing::check_against_reference;
+using bspmv::testing::CsrFault;
+using bspmv::testing::csr_fault_name;
+using bspmv::testing::expect_typed_errors_only;
+using bspmv::testing::inject_csr_fault;
+using bspmv::testing::random_blocky_coo;
+using bspmv::testing::random_coo;
+using bspmv::testing::synthetic_profile;
+using bspmv::testing::text_corruptions;
+
+std::string serialize_mm(const Coo<double>& coo) {
+  std::ostringstream os;
+  write_matrix_market(coo, os);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------
+// Matrix Market stream corruption
+// ---------------------------------------------------------------------
+
+TEST(FaultInjection, CorruptedMatrixMarketGeneral) {
+  const Coo<double> coo = random_coo<double>(17, 13, 0.2, 42);
+  const auto corpus = text_corruptions(serialize_mm(coo));
+  ASSERT_GT(corpus.size(), 30u);
+  expect_typed_errors_only(
+      corpus,
+      [](const std::string& text) {
+        std::istringstream is(text);
+        const Coo<double> parsed = parse_matrix_market<double>(is);
+        // A benign corruption must still yield a structurally sound
+        // matrix all the way through CSR conversion.
+        const auto a = Csr<double>::from_coo(parsed);
+        validate(a);
+      },
+      "general mm");
+}
+
+TEST(FaultInjection, CorruptedMatrixMarketSkewSymmetric) {
+  // Hand-written skew-symmetric document (writer emits general only).
+  const std::string base =
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "4 4 3\n"
+      "2 1 1.5\n"
+      "3 1 -2.25\n"
+      "4 2 0.75\n";
+  expect_typed_errors_only(
+      text_corruptions(base),
+      [](const std::string& text) {
+        std::istringstream is(text);
+        const Coo<double> parsed = parse_matrix_market<double>(is);
+        validate(parsed);
+      },
+      "skew-symmetric mm");
+}
+
+TEST(FaultInjection, SkewSymmetricDiagonalIsTyped) {
+  const std::string doc =
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "3 3 2\n"
+      "2 1 1.0\n"
+      "2 2 5.0\n";
+  std::istringstream is(doc);
+  EXPECT_THROW(parse_matrix_market<double>(is), parse_error);
+}
+
+// ---------------------------------------------------------------------
+// In-memory CSR corruption: validate() and try_prepare() must both
+// reject garbage with validation_error — there is no correct executor
+// for a broken matrix, so falling back would hide the corruption.
+// ---------------------------------------------------------------------
+
+TEST(FaultInjection, CorruptedCsrIsRejectedByValidate) {
+  for (CsrFault fault : {CsrFault::kColumnPastEnd, CsrFault::kColumnNegative,
+                         CsrFault::kColumnHuge}) {
+    for (std::size_t pos : {std::size_t{0}, std::size_t{7}, std::size_t{1u << 20}}) {
+      auto a = Csr<double>::from_coo(random_coo<double>(24, 24, 0.15, 5));
+      ASSERT_TRUE(inject_csr_fault(a, fault, pos)) << csr_fault_name(fault);
+      EXPECT_THROW(validate(a), validation_error)
+          << csr_fault_name(fault) << " at " << pos;
+    }
+  }
+}
+
+TEST(FaultInjection, CorruptedCsrIsRejectedByTryPrepare) {
+  auto a = Csr<double>::from_coo(random_coo<double>(16, 16, 0.2, 9));
+  ASSERT_TRUE(inject_csr_fault(a, CsrFault::kColumnPastEnd, 3));
+  EXPECT_THROW(try_prepare(a, model_candidates(true)), validation_error);
+}
+
+// ---------------------------------------------------------------------
+// Resource starvation: tight ConversionGuard limits
+// ---------------------------------------------------------------------
+
+TEST(FaultInjection, PaddingBlowupRaisesResourceLimitError) {
+  // A diagonal matrix blocked 8x8 stores 64 values per nonzero — cap the
+  // fill ratio below that and the conversion must refuse, not allocate.
+  Coo<double> coo(256, 256);
+  for (index_t i = 0; i < 256; ++i) coo.add(i, i, 1.0 + i);
+  const auto a = Csr<double>::from_coo(coo);
+
+  ConversionLimits tight;
+  tight.max_fill_ratio = 4.0;
+  ConversionGuard::Scope scope(tight);
+  EXPECT_THROW(Bcsr<double>::from_csr(a, BlockShape{8, 8}),
+               resource_limit_error);
+}
+
+TEST(FaultInjection, ByteBudgetRaisesResourceLimitError) {
+  const auto a =
+      Csr<double>::from_coo(random_blocky_coo<double>(64, 64, 4, 0.4, 0.9, 3));
+  ConversionLimits tiny;
+  tiny.max_bytes = 128;  // no real matrix fits
+  ConversionGuard::Scope scope(tiny);
+  EXPECT_THROW(Bcsr<double>::from_csr(a, BlockShape{4, 4}),
+               resource_limit_error);
+}
+
+TEST(FaultInjection, TryPrepareDegradesToCorrectCsr) {
+  const Coo<double> coo = random_blocky_coo<double>(96, 96, 4, 0.3, 0.8, 11);
+  const auto a = Csr<double>::from_coo(coo);
+
+  // Starve every blocked conversion; only the 1x1 CSR fallback can fit.
+  ConversionLimits tight;
+  tight.max_fill_ratio = 1.0 - 1e-9;
+  ConversionGuard::Scope scope(tight);
+
+  // Blocked candidates only, so every requested candidate fails.
+  std::vector<Candidate> blocked;
+  for (const Candidate& c : model_candidates(true))
+    if (c.kind != FormatKind::kCsr) blocked.push_back(c);
+  ASSERT_FALSE(blocked.empty());
+
+  const PreparedExecutor<double> prep = try_prepare(a, blocked);
+  EXPECT_TRUE(prep.fallback);
+  EXPECT_EQ(prep.failures.size(), blocked.size());
+  for (const PrepareFailure& f : prep.failures)
+    EXPECT_FALSE(f.reason.empty()) << f.candidate.id();
+  EXPECT_EQ(prep.format.candidate().kind, FormatKind::kCsr);
+
+  check_against_reference<double>(
+      coo, [&](const double* x, double* y) { prep.format.run(x, y); },
+      "csr fallback");
+}
+
+TEST(FaultInjection, TryPreparePicksFirstViableCandidate) {
+  const Coo<double> coo = random_blocky_coo<double>(64, 64, 2, 0.5, 0.95, 21);
+  const auto a = Csr<double>::from_coo(coo);
+  const PreparedExecutor<double> prep = try_prepare(a, model_candidates(true));
+  EXPECT_FALSE(prep.fallback);
+  EXPECT_TRUE(prep.failures.empty());
+  check_against_reference<double>(
+      coo, [&](const double* x, double* y) { prep.format.run(x, y); },
+      "first viable");
+}
+
+TEST(FaultInjection, SelectAndPrepareSurvivesStarvation) {
+  const Coo<double> coo = random_blocky_coo<double>(80, 80, 3, 0.4, 0.85, 31);
+  const auto a = Csr<double>::from_coo(coo);
+  const MachineProfile profile = synthetic_profile();
+
+  ConversionLimits tight;
+  tight.max_fill_ratio = 1.0 - 1e-9;
+  ConversionGuard::Scope scope(tight);
+
+  for (ModelKind model : {ModelKind::kMem, ModelKind::kMemComp,
+                          ModelKind::kOverlap, ModelKind::kMemLat}) {
+    const PreparedExecutor<double> prep = select_and_prepare(model, a, profile);
+    // Whatever survived must be runnable and correct.
+    EXPECT_NO_THROW(prep.format.validate()) << model_name(model);
+    check_against_reference<double>(
+        coo, [&](const double* x, double* y) { prep.format.run(x, y); },
+        std::string("select_and_prepare/") + model_name(model));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Profile-cache JSON corruption
+// ---------------------------------------------------------------------
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(::testing::TempDir() + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+  void write(const std::string& text) const {
+    std::ofstream f(path_);
+    f << text;
+  }
+
+ private:
+  std::string path_;
+};
+
+TEST(FaultInjection, CorruptedProfileJsonNeverEscapesTaxonomy) {
+  const MachineProfile profile = synthetic_profile();
+  const std::string base = profile.to_json().dump(2);
+  const TempFile file("fault_injection_profile.json");
+
+  for (const std::string& variant : text_corruptions(base)) {
+    file.write(variant);
+    // load(): strict — success or a typed error.
+    try {
+      (void)MachineProfile::load(file.path());
+    } catch (const error&) {
+      // typed: contract holds
+    } catch (const std::exception& e) {
+      FAIL() << "MachineProfile::load escaped taxonomy: " << e.what()
+             << "\n--- variant ---\n"
+             << variant;
+    }
+    // try_load(): total — a profile or nullopt, never a throw.
+    EXPECT_NO_THROW((void)MachineProfile::try_load(file.path()));
+  }
+}
+
+TEST(FaultInjection, StaleProfileSchemaTriggersReprofile) {
+  const MachineProfile profile = synthetic_profile();
+  Json j = profile.to_json();
+  j.as_object()["schema_version"] = MachineProfile::kSchemaVersion + 1;
+  const TempFile file("fault_injection_stale_profile.json");
+  file.write(j.dump(2));
+  EXPECT_THROW((void)MachineProfile::from_json(j), validation_error);
+  EXPECT_FALSE(MachineProfile::try_load(file.path()).has_value());
+}
+
+// ---------------------------------------------------------------------
+// Post-conversion invariants: every candidate that converts at all must
+// produce a structure validate() accepts and a numerically correct run.
+// ---------------------------------------------------------------------
+
+TEST(FaultInjection, EveryConvertedCandidateValidatesAndRuns) {
+  const Coo<double> coo = random_blocky_coo<double>(60, 52, 4, 0.35, 0.8, 77);
+  const auto a = Csr<double>::from_coo(coo);
+
+  std::vector<Candidate> all = bench_candidates(true, true);
+  for (const Candidate& c : extension_candidates(true)) all.push_back(c);
+
+  int converted = 0;
+  for (const Candidate& c : all) {
+    std::string reason;
+    auto f = try_convert(a, c, &reason);
+    if (!f) continue;  // unsupported combination — typed skip, not a bug
+    ++converted;
+    EXPECT_NO_THROW(f->validate()) << c.id();
+    check_against_reference<double>(
+        coo, [&](const double* x, double* y) { f->run(x, y); }, c.id());
+  }
+  EXPECT_GT(converted, 50);
+}
+
+}  // namespace
+}  // namespace bspmv

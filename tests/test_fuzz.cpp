@@ -148,6 +148,63 @@ TEST(FuzzMatrixMarket, MutatedFilesNeverCrash) {
   SUCCEED();
 }
 
+TEST(FuzzMatrixMarket, MalformedCorpusRaisesTypedParseErrors) {
+  // Curated malformed documents: each must raise parse_error, not some
+  // foreign exception and not a silent success.
+  const char* corpus[] = {
+      // Truncated / short size line.
+      "%%MatrixMarket matrix coordinate real general\n4\n",
+      "%%MatrixMarket matrix coordinate real general\n4 4\n",
+      // Trailing junk on the size line.
+      "%%MatrixMarket matrix coordinate real general\n4 4 1 9\n1 1 1.0\n",
+      // Non-numeric size tokens.
+      "%%MatrixMarket matrix coordinate real general\nfour 4 1\n1 1 1.0\n",
+      "%%MatrixMarket matrix coordinate real general\n4 4 one\n1 1 1.0\n",
+      // Negative / overflow dimensions (4-byte index type).
+      "%%MatrixMarket matrix coordinate real general\n-4 4 1\n1 1 1.0\n",
+      "%%MatrixMarket matrix coordinate real general\n99999999999 1 1\n1 1 1.0\n",
+      "%%MatrixMarket matrix coordinate real general\n1 99999999999 1\n1 1 1.0\n",
+      // Declared entry count exceeding rows*cols.
+      "%%MatrixMarket matrix coordinate real general\n2 2 5\n"
+      "1 1 1.0\n1 2 1.0\n2 1 1.0\n2 2 1.0\n1 1 1.0\n",
+      // Non-numeric entry tokens.
+      "%%MatrixMarket matrix coordinate real general\n4 4 1\nx 1 1.0\n",
+      "%%MatrixMarket matrix coordinate real general\n4 4 1\n1 y 1.0\n",
+      "%%MatrixMarket matrix coordinate real general\n4 4 1\n1 1 z\n",
+      // Missing value / trailing tokens on an entry line.
+      "%%MatrixMarket matrix coordinate real general\n4 4 1\n1 1\n",
+      "%%MatrixMarket matrix coordinate real general\n4 4 1\n1 1 1.0 extra\n",
+      // 1-based indices out of the declared bounds.
+      "%%MatrixMarket matrix coordinate real general\n4 4 1\n0 1 1.0\n",
+      "%%MatrixMarket matrix coordinate real general\n4 4 1\n5 1 1.0\n",
+      "%%MatrixMarket matrix coordinate real general\n4 4 1\n1 5 1.0\n",
+      // Fewer / more entries than declared.
+      "%%MatrixMarket matrix coordinate real general\n4 4 2\n1 1 1.0\n",
+      "%%MatrixMarket matrix coordinate real general\n4 4 1\n1 1 1.0\n2 2 2.0\n",
+      // Diagonal entry in a skew-symmetric matrix.
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n3 3 1\n2 2 1.0\n",
+  };
+  for (const char* doc : corpus) {
+    std::istringstream in(doc);
+    EXPECT_THROW((void)parse_matrix_market<double>(in), parse_error)
+        << "--- document ---\n"
+        << doc;
+  }
+}
+
+TEST(FuzzMatrixMarket, ParseErrorsCarryLineNumbers) {
+  const std::string doc =
+      "%%MatrixMarket matrix coordinate real general\n4 4 2\n1 1 1.0\nbad\n";
+  std::istringstream in(doc);
+  try {
+    (void)parse_matrix_market<double>(in);
+    FAIL() << "expected parse_error";
+  } catch (const parse_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(FuzzMatrixMarket, TruncationsAreHandled) {
   Coo<double> coo(4, 4);
   for (index_t i = 0; i < 4; ++i) coo.add(i, i, 1.0 + i);

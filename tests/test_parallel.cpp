@@ -177,5 +177,83 @@ TEST(ThreadedSpmvEdge, RejectsZeroThreads) {
   EXPECT_THROW(ThreadedCsrSpmv<double>(a, 0), invalid_argument_error);
 }
 
+TEST(ThreadedSpmvEdge, MoreThreadsThanRowsAllFormats) {
+  // 3 rows, 16 threads: most partitions are empty and every runner must
+  // still cover all rows exactly once.
+  Coo<double> coo(3, 12);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 11, 2.0);
+  coo.add(1, 5, 3.0);
+  coo.add(2, 2, 4.0);
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  const auto x = random_x<double>(12, 13);
+  aligned_vector<double> ys(3, 0.0);
+  spmv(a, x.data(), ys.data());
+
+  aligned_vector<double> y(3, -1.0);
+  ThreadedCsrSpmv<double>(a, 16).run(x.data(), y.data());
+  expect_vectors_near(y.data(), ys.data(), 3, "csr 16 threads");
+
+  const Bcsr<double> mb = Bcsr<double>::from_csr(a, BlockShape{2, 2});
+  y.assign(3, -1.0);
+  ThreadedBcsrSpmv<double>(mb, 16).run(x.data(), y.data(), Impl::kScalar);
+  expect_vectors_near(y.data(), ys.data(), 3, "bcsr 16 threads");
+
+  const Bcsd<double> md = Bcsd<double>::from_csr(a, 4);
+  y.assign(3, -1.0);
+  ThreadedBcsdSpmv<double>(md, 16).run(x.data(), y.data());
+  expect_vectors_near(y.data(), ys.data(), 3, "bcsd 16 threads");
+
+  const BcsrDec<double> mbd = BcsrDec<double>::from_csr(a, BlockShape{2, 2});
+  y.assign(3, -1.0);
+  ThreadedBcsrDecSpmv<double>(mbd, 16).run(x.data(), y.data());
+  expect_vectors_near(y.data(), ys.data(), 3, "bcsr_dec 16 threads");
+}
+
+TEST(ThreadedSpmvEdge, SingleRowMatrix) {
+  // One row can never be split: exactly one thread does all the work.
+  Coo<double> coo(1, 40);
+  for (index_t j = 0; j < 40; j += 3) coo.add(0, j, 1.0 + j);
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  const auto x = random_x<double>(40, 17);
+  aligned_vector<double> ys(1, 0.0);
+  spmv(a, x.data(), ys.data());
+  for (int threads : {1, 2, 7}) {
+    aligned_vector<double> y(1, -1.0);
+    ThreadedCsrSpmv<double>(a, threads).run(x.data(), y.data());
+    expect_vectors_near(y.data(), ys.data(), 1,
+                        "single row, " + std::to_string(threads) + " threads");
+  }
+}
+
+TEST(Partition, MorePartsThanUnitsYieldsEmptyTailParts) {
+  // parts > units: boundaries stay monotone and cover; surplus parts are
+  // empty ranges, which the runners must tolerate as no-ops.
+  const std::vector<std::size_t> w = {3, 3, 3};
+  const auto b = balanced_partition(w, 8);
+  ASSERT_EQ(b.size(), 9u);
+  EXPECT_EQ(b.front(), 0);
+  EXPECT_EQ(b.back(), 3);
+  int empty = 0, covered = 0;
+  for (std::size_t i = 1; i < b.size(); ++i) {
+    ASSERT_GE(b[i], b[i - 1]);
+    const index_t len = b[i] - b[i - 1];
+    if (len == 0) ++empty;
+    covered += len;
+  }
+  EXPECT_EQ(covered, 3);
+  EXPECT_GE(empty, 5);  // pigeonhole: at most 3 of 8 parts are nonempty
+}
+
+TEST(Partition, AllZeroWeightsStillCover) {
+  // Rows with zero weight (empty rows) must still be assigned somewhere.
+  const std::vector<std::size_t> w(6, 0);
+  const auto b = balanced_partition(w, 3);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b.front(), 0);
+  EXPECT_EQ(b.back(), 6);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_GE(b[i], b[i - 1]);
+}
+
 }  // namespace
 }  // namespace bspmv
