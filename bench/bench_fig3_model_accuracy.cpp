@@ -19,9 +19,14 @@ namespace {
 constexpr ModelKind kModels[] = {ModelKind::kMem, ModelKind::kMemComp,
                                  ModelKind::kOverlap, ModelKind::kMemLat};
 
+/// Runs one precision and returns model name -> average relative distance
+/// |t_model - t_real| / t_real over all (matrix, candidate) pairs — the
+/// headline accuracy number, recorded in the bench trajectory.
 template <class V>
-void run_precision(const BenchConfig& cfg, const MachineProfile& profile,
-                   SweepCache& cache, const std::vector<int>& ids) {
+std::map<std::string, double> run_precision(const BenchConfig& cfg,
+                                            const MachineProfile& profile,
+                                            SweepCache& cache,
+                                            const std::vector<int>& ids) {
   constexpr Precision prec = precision_of<V>;
   const auto cands = model_candidates(true);
 
@@ -75,6 +80,11 @@ void run_precision(const BenchConfig& cfg, const MachineProfile& profile,
     std::printf("\n");
   }
   print_rule(66);
+
+  std::map<std::string, double> avg_dist;
+  for (ModelKind m : kModels)
+    avg_dist[model_name(m)] = dist_sum[m] / static_cast<double>(dist_n);
+  return avg_dist;
 }
 
 }  // namespace
@@ -93,7 +103,17 @@ int main(int argc, char** argv) {
   if (ids.empty())
     for (int i = 3; i <= 30; ++i) ids.push_back(i);  // paper omits #1-#2
 
-  run_precision<float>(cfg, profile, cache, ids);
-  run_precision<double>(cfg, profile, cache, ids);
+  const auto sp = run_precision<float>(cfg, profile, cache, ids);
+  const auto dp = run_precision<double>(cfg, profile, cache, ids);
+
+  Json::Object payload;
+  payload["matrices"] = static_cast<double>(ids.size());
+  for (const auto* pair : {&sp, &dp}) {
+    Json::Object per_model;
+    for (const auto& [name, dist] : *pair) per_model[name] = dist;
+    payload[pair == &sp ? "avg_rel_distance_sp" : "avg_rel_distance_dp"] =
+        Json(std::move(per_model));
+  }
+  append_bench_report(cfg, "fig3_model_accuracy", Json(std::move(payload)));
   return 0;
 }

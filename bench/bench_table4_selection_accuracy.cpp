@@ -94,5 +94,21 @@ int main(int argc, char** argv) {
   print_block("Table IV: optimal selections per model and distance from the "
               "best achievable performance",
               sp, dp, ids.size());
+
+  Json::Object payload;
+  payload["matrices"] = static_cast<double>(ids.size());
+  for (const auto* pair : {&sp, &dp}) {
+    Json::Object per_model;
+    for (const auto& [m, s] : *pair) {
+      Json::Object o;
+      o["correct"] = s.correct;
+      o["avg_off_best"] = s.off_sum / static_cast<double>(ids.size());
+      per_model[model_name(m)] = Json(std::move(o));
+    }
+    payload[pair == &sp ? "selection_sp" : "selection_dp"] =
+        Json(std::move(per_model));
+  }
+  append_bench_report(cfg, "table4_selection_accuracy",
+                      Json(std::move(payload)));
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/observe/report.hpp"
 #include "src/util/macros.hpp"
 
 namespace bspmv::bench {
@@ -20,6 +21,8 @@ void add_common_flags(CliParser& cli) {
                  "machine profile path (profiled + saved on first use)");
   cli.add_option("cache", "sweep_cache.json",
                  "sweep cache path shared across bench binaries");
+  cli.add_option("report", "BENCH_report.json",
+                 "perf trajectory the bench appends to (empty disables)");
   cli.add_flag("no-cache", "ignore and do not write the sweep cache");
   cli.add_flag("verbose", "progress output on stderr");
 }
@@ -32,6 +35,7 @@ std::optional<BenchConfig> parse_common(const CliParser& cli) {
   cfg.measure.warmup = static_cast<int>(cli.get_int("warmup"));
   cfg.profile_path = cli.get("profile");
   cfg.cache_path = cli.get("cache");
+  cfg.report_path = cli.get("report");
   cfg.no_cache = cli.get_flag("no-cache");
   cfg.verbose = cli.get_flag("verbose");
 
@@ -64,6 +68,20 @@ MachineProfile get_machine_profile(const BenchConfig& cfg) {
   MachineProfile p = profile_machine(opt);
   p.save(cfg.profile_path);
   return p;
+}
+
+void append_bench_report(const BenchConfig& cfg, const std::string& bench_name,
+                         Json payload) {
+  if (cfg.report_path.empty()) return;
+  Json::Object entry;
+  entry["bench"] = bench_name;
+  entry["scale"] = suite_scale_name(cfg.scale);
+  entry["iters"] = cfg.measure.iterations;
+  entry["result"] = std::move(payload);
+  observe::append_to_trajectory(cfg.report_path, Json(std::move(entry)));
+  if (cfg.verbose)
+    std::fprintf(stderr, "appended %s entry to %s\n", bench_name.c_str(),
+                 cfg.report_path.c_str());
 }
 
 const char* format_label(FormatKind kind) {

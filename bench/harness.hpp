@@ -26,6 +26,7 @@ struct BenchConfig {
   MeasureOptions measure;                 ///< per-candidate timing knobs
   std::string profile_path = "machine_profile.json";
   std::string cache_path = "sweep_cache.json";
+  std::string report_path = "BENCH_report.json";  ///< trajectory ("" = off)
   std::vector<int> matrix_ids;            ///< suite ids to run
   bool no_cache = false;
   bool verbose = false;
@@ -44,6 +45,14 @@ MachineProfile get_machine_profile(const BenchConfig& cfg);
 
 /// Human-readable format labels matching the paper's tables.
 const char* format_label(FormatKind kind);
+
+/// Append one bench result entry to the BENCH_report.json trajectory so
+/// successive runs accumulate a machine-readable perf history. The entry
+/// is wrapped with the bench name and the run configuration; writing is
+/// skipped when cfg.report_path is empty. Corrupt trajectories follow
+/// the warn-and-regenerate policy (DESIGN.md §7).
+void append_bench_report(const BenchConfig& cfg, const std::string& bench_name,
+                         Json payload);
 
 // ----------------------------------------------------------------------
 // Sweep cache

@@ -5,7 +5,11 @@
 //
 //   $ ./mtx_tool matrix.mtx
 //   $ ./mtx_tool --suite 21 --scale small --measure
+//   $ ./mtx_tool report matrix.mtx --out report.json
+//   $ ./mtx_tool report --validate report.json
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "src/core/executor.hpp"
 #include "src/core/heuristic.hpp"
@@ -15,6 +19,7 @@
 #include "src/formats/stats.hpp"
 #include "src/gen/suite.hpp"
 #include "src/io/matrix_market.hpp"
+#include "src/observe/report.hpp"
 #include "src/profile/block_profiler.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/errors.hpp"
@@ -23,29 +28,125 @@ using namespace bspmv;
 
 namespace {
 
+/// Load the target matrix for either subcommand: --suite id wins,
+/// otherwise the positional path at `pos_index` is a Matrix Market file.
+bool load_matrix(const CliParser& cli, std::size_t pos_index, Csr<double>& a,
+                 std::string& name) {
+  const int suite_id = static_cast<int>(cli.get_int("suite"));
+  if (suite_id > 0) {
+    a = build_suite_csr<double>(suite_id, parse_suite_scale(cli.get("scale")));
+    name = suite_catalog()[static_cast<size_t>(suite_id - 1)].name;
+    return true;
+  }
+  if (cli.positional().size() > pos_index) {
+    name = cli.positional()[pos_index];
+    std::printf("reading %s...\n", name.c_str());
+    a = Csr<double>::from_coo(read_matrix_market<double>(name));
+    return true;
+  }
+  return false;
+}
+
+/// `mtx_tool report` — build a schema-versioned RunReport (predicted vs
+/// measured time per model, Table IV selection scoring, per-thread
+/// timing) and write it as JSON/CSV; or validate an existing report file.
+int run_report(const CliParser& cli) {
+  const std::string validate_path = cli.get("validate");
+  if (!validate_path.empty()) {
+    std::ifstream f(validate_path);
+    if (!f) {
+      std::fprintf(stderr, "error: cannot read %s\n", validate_path.c_str());
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    observe::validate_report_json(Json::parse(ss.str()));
+    std::printf("%s: valid %s (schema v%d)\n", validate_path.c_str(),
+                observe::RunReport::kKind, observe::RunReport::kSchemaVersion);
+    return 0;
+  }
+
+  Csr<double> a;
+  std::string name;
+  if (!load_matrix(cli, 1, a, name)) {
+    std::fprintf(stderr,
+                 "usage: mtx_tool report <file.mtx> | --suite <id> "
+                 "[--out r.json] [--csv r.csv] [--append traj.json]\n"
+                 "       mtx_tool report --validate <report.json>\n");
+    return 1;
+  }
+
+  ProfileOptions popt;
+  popt.quick = true;
+  const MachineProfile profile = load_or_profile(cli.get("profile"), popt);
+
+  observe::ReportOptions ropt;
+  ropt.measure.iterations = static_cast<int>(cli.get_int("iters"));
+  ropt.measure.reps = static_cast<int>(cli.get_int("reps"));
+  ropt.threads = static_cast<int>(cli.get_int("threads"));
+  ropt.verbose = cli.get_flag("verbose");
+
+  const observe::RunReport report =
+      observe::build_run_report(a, name, profile, ropt);
+  const Json j = report.to_json();
+
+  const std::string out = cli.get("out");
+  std::ofstream of(out);
+  if (!of) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  of << j.dump(2) << '\n';
+  std::printf("wrote %s: %zu candidates, %zu selections, %d threads%s\n",
+              out.c_str(), report.candidates.size(), report.selections.size(),
+              report.threads, report.fallback ? " (CSR fallback)" : "");
+
+  const std::string csv = cli.get("csv");
+  if (!csv.empty()) {
+    std::ofstream cf(csv);
+    if (!cf) {
+      std::fprintf(stderr, "error: cannot write %s\n", csv.c_str());
+      return 1;
+    }
+    cf << report.to_csv();
+    std::printf("wrote %s\n", csv.c_str());
+  }
+
+  const std::string traj = cli.get("append");
+  if (!traj.empty()) {
+    observe::append_to_trajectory(traj, j);
+    std::printf("appended to trajectory %s\n", traj.c_str());
+  }
+  return 0;
+}
+
 int run(int argc, char** argv) {
   CliParser cli;
   cli.add_option("suite", "0", "use suite matrix id 1..30 instead of a file");
   cli.add_option("scale", "small", "suite scale (with --suite)");
   cli.add_option("profile", "machine_profile.json", "machine profile path");
   cli.add_option("top", "8", "how many ranked candidates to print");
+  cli.add_option("out", "report.json", "report: output JSON path");
+  cli.add_option("csv", "", "report: also write the candidate table as CSV");
+  cli.add_option("append", "", "report: also append to this trajectory file");
+  cli.add_option("validate", "", "report: validate this file and exit");
+  cli.add_option("threads", "0", "report: thread count (0 = all cores)");
+  cli.add_option("iters", "10", "report: SpMV iterations per timed batch");
+  cli.add_option("reps", "2", "report: timed batches (min reported)");
   cli.add_flag("measure", "also measure the top candidates' real time");
   cli.add_flag("reorder", "apply the similarity row reordering first");
+  cli.add_flag("verbose", "report: progress output on stderr");
   if (!cli.parse(argc, argv)) return 0;
+
+  if (!cli.positional().empty() && cli.positional().front() == "report")
+    return run_report(cli);
 
   Csr<double> a;
   std::string name;
-  const int suite_id = static_cast<int>(cli.get_int("suite"));
-  if (suite_id > 0) {
-    a = build_suite_csr<double>(suite_id, parse_suite_scale(cli.get("scale")));
-    name = suite_catalog()[static_cast<size_t>(suite_id - 1)].name;
-  } else if (!cli.positional().empty()) {
-    name = cli.positional().front();
-    std::printf("reading %s...\n", name.c_str());
-    a = Csr<double>::from_coo(read_matrix_market<double>(name));
-  } else {
+  if (!load_matrix(cli, 0, a, name)) {
     std::fprintf(stderr,
-                 "usage: mtx_tool <file.mtx> | --suite <id> [--measure]\n");
+                 "usage: mtx_tool <file.mtx> | --suite <id> [--measure]\n"
+                 "       mtx_tool report <file.mtx> | --suite <id>\n");
     return 1;
   }
 

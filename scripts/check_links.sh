@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Markdown link checker for the repository docs (no dependencies beyond
+# grep/sed). Every relative link target in README.md, DESIGN.md, ROADMAP.md
+# and docs/*.md must exist on disk, resolved against the linking file's
+# directory first and the repository root second. External links
+# (http/https/mailto) and pure in-page anchors are skipped.
+set -u
+cd "$(dirname "$0")/.."
+
+files="README.md DESIGN.md ROADMAP.md"
+for f in docs/*.md; do
+  [ -f "$f" ] && files="$files $f"
+done
+
+broken=0
+checked=0
+for f in $files; do
+  [ -f "$f" ] || continue
+  dir=$(dirname "$f")
+  # Extract the (target) part of every [text](target) link.
+  targets=$(grep -oE '\]\([^)]+\)' "$f" | sed -e 's/^](//' -e 's/)$//')
+  for t in $targets; do
+    case "$t" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path=${t%%#*}          # strip in-page anchor
+    path=${path%% *}       # strip optional "title" part
+    [ -n "$path" ] || continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "broken link in $f: $t" >&2
+      broken=$((broken + 1))
+    fi
+  done
+done
+
+if [ "$broken" -ne 0 ]; then
+  echo "check_links: $broken broken link(s) out of $checked checked" >&2
+  exit 1
+fi
+echo "check_links: all $checked relative links resolve"

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Build the tree and produce validated RunReports for a handful of suite
+# matrices — the one-command demo of the observability subsystem
+# (docs/observability.md). Each report is re-validated through the schema
+# validator and appended to the BENCH_report.json trajectory; finishes
+# with the docs link check so the whole pipeline gates on one exit code.
+#
+#   scripts/make_report.sh [--no-build]
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" != "--no-build" ]; then
+  cmake -B build -S . >/dev/null
+  cmake --build build -j >/dev/null
+fi
+
+tool=build/examples/mtx_tool
+[ -x "$tool" ] || { echo "make_report: $tool not built" >&2; exit 1; }
+
+# Small dense-ish, large sparse, and the paper's hardest irregular case.
+for id in 2 8 21; do
+  out="report_suite${id}.json"
+  "$tool" report --suite "$id" --scale tiny --iters 3 --reps 1 \
+    --out "$out" --append BENCH_report.json
+  "$tool" report --validate "$out"
+done
+
+bash scripts/check_links.sh
+echo "make_report: OK (reports + trajectory validated)"

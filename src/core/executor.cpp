@@ -3,6 +3,7 @@
 #include <new>
 
 #include "src/formats/validate.hpp"
+#include "src/observe/observe.hpp"
 #include "src/util/macros.hpp"
 #include "src/util/prng.hpp"
 
@@ -10,6 +11,8 @@ namespace bspmv {
 
 template <class V>
 AnyFormat<V> AnyFormat<V>::convert(const Csr<V>& a, const Candidate& c) {
+  BSPMV_OBS_SPAN("convert");
+  BSPMV_OBS_SPAN(format_name(c.kind));
   AnyFormat f;
   f.c_ = c;
   switch (c.kind) {
@@ -109,18 +112,21 @@ std::optional<AnyFormat<V>> try_convert(const Csr<V>& a, const Candidate& c,
   } catch (const std::bad_alloc&) {
     if (reason) *reason = "allocation failed";
   }
+  BSPMV_OBS_COUNT("prepare.convert_failures", 1);
   return std::nullopt;
 }
 
 template <class V>
 PreparedExecutor<V> try_prepare(const Csr<V>& a,
                                 const std::vector<Candidate>& ranked) {
+  BSPMV_OBS_SPAN("prepare");
   // Garbage in, typed error out: no candidate can be correct if the
   // source matrix itself is corrupt.
   bspmv::validate(a);
 
   PreparedExecutor<V> out;
   for (const Candidate& c : ranked) {
+    BSPMV_OBS_COUNT("prepare.candidates_tried", 1);
     std::string reason;
     if (auto f = try_convert(a, c, &reason)) {
       out.format = std::move(*f);
@@ -128,6 +134,7 @@ PreparedExecutor<V> try_prepare(const Csr<V>& a,
     }
     out.failures.push_back(PrepareFailure{c, std::move(reason)});
   }
+  BSPMV_OBS_COUNT("prepare.fallback", 1);
 
   // Degenerate 1×1 case: scalar CSR. The convert is a copy of the
   // already-validated input, so it cannot fail.
@@ -153,6 +160,8 @@ aligned_vector<V> random_vector(std::size_t n, std::uint64_t seed) {
 
 template <class V>
 double measure_spmv_seconds(const AnyFormat<V>& f, const MeasureOptions& opt) {
+  BSPMV_OBS_SPAN("measure");
+  BSPMV_OBS_SPAN("spmv");
   const auto x = random_vector<V>(static_cast<std::size_t>(f.cols()), opt.seed);
   aligned_vector<V> y(static_cast<std::size_t>(f.rows()), V{0});
   const auto res = time_repeated([&] { f.run(x.data(), y.data()); },
@@ -177,6 +186,8 @@ std::vector<MeasuredCandidate> measure_candidates(
 template <class V>
 double measure_threaded_seconds(const Csr<V>& a, const Candidate& c,
                                 int threads, const MeasureOptions& opt) {
+  BSPMV_OBS_SPAN("measure");
+  BSPMV_OBS_SPAN("threaded");
   const auto x = random_vector<V>(static_cast<std::size_t>(a.cols()), opt.seed);
   aligned_vector<V> y(static_cast<std::size_t>(a.rows()), V{0});
   const V* xp = x.data();
@@ -220,6 +231,8 @@ std::vector<double> measure_threaded_multi(const Csr<V>& a,
                                            const Candidate& c,
                                            const std::vector<int>& threads,
                                            const MeasureOptions& opt) {
+  BSPMV_OBS_SPAN("measure");
+  BSPMV_OBS_SPAN("threaded");
   const auto x = random_vector<V>(static_cast<std::size_t>(a.cols()), opt.seed);
   aligned_vector<V> y(static_cast<std::size_t>(a.rows()), V{0});
   const V* xp = x.data();

@@ -5,6 +5,11 @@
 // paper does (repeated consecutive SpMV operations on random input
 // vectors) to produce the "real execution time" that Figs. 3/4 and
 // Tables II–IV compare against.
+//
+// Conversion, the prepare path and the measurement loops are
+// instrumented (src/observe/observe.hpp): spans "convert/<fmt>",
+// "prepare", "measure/{spmv,threaded}" and the prepare.* counters feed
+// the RunReport telemetry described in docs/observability.md.
 #pragma once
 
 #include <optional>

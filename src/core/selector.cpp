@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/observe/observe.hpp"
 #include "src/util/macros.hpp"
 
 namespace bspmv {
@@ -9,6 +10,7 @@ namespace bspmv {
 template <class V>
 std::vector<RankedCandidate> rank_candidates(ModelKind model, const Csr<V>& a,
                                              const MachineProfile& profile) {
+  BSPMV_OBS_SPAN("rank");
   const bool include_simd = model != ModelKind::kMem;
   const std::vector<Candidate> candidates = model_candidates(include_simd);
   const std::vector<CandidateCost> costs = all_candidate_costs(a, candidates);
@@ -22,6 +24,7 @@ std::vector<RankedCandidate> rank_candidates(ModelKind model, const Csr<V>& a,
   for (const CandidateCost& cost : costs)
     out.push_back(RankedCandidate{
         cost.candidate, predict(model, cost, profile, prec, &irr)});
+  BSPMV_OBS_COUNT("select.candidates_ranked", out.size());
 
   std::stable_sort(out.begin(), out.end(),
                    [](const RankedCandidate& x, const RankedCandidate& y) {
@@ -43,6 +46,7 @@ RankedCandidate select_best(ModelKind model, const Csr<V>& a,
 template <class V>
 PreparedExecutor<V> select_and_prepare(ModelKind model, const Csr<V>& a,
                                        const MachineProfile& profile) {
+  BSPMV_OBS_SPAN("select");
   const auto ranked = rank_candidates(model, a, profile);
   std::vector<Candidate> candidates;
   candidates.reserve(ranked.size());

@@ -1,5 +1,9 @@
 // Model-driven selection of storage format, block and implementation —
 // the "autotuner" built on §IV's models.
+//
+// Selection is instrumented (src/observe/observe.hpp): spans "select" /
+// "select/rank" and the select.candidates_ranked counter record how
+// much work each autotuning pass does (docs/observability.md).
 #pragma once
 
 #include <vector>

@@ -1,0 +1,92 @@
+#include "src/observe/registry.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace bspmv::observe {
+
+namespace {
+
+bool env_enabled() {
+  const char* v = std::getenv("BSPMV_OBSERVE");
+  if (!v) return true;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "OFF") == 0 || std::strcmp(v, "false") == 0);
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{env_enabled()};
+  return flag;
+}
+
+// Dotted path of the innermost live Span on this thread. A plain string
+// (grown/truncated in place) so nested spans cost no allocation once the
+// buffer has reached its high-water mark.
+thread_local std::string t_span_path;
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+CounterRegistry& CounterRegistry::instance() {
+  static CounterRegistry reg;
+  return reg;
+}
+
+void CounterRegistry::add_span(const std::string& path, double seconds) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanStat& s = data_.spans[path];
+  s.seconds += seconds;
+  ++s.calls;
+}
+
+void CounterRegistry::add_count(const std::string& name, std::uint64_t n) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  data_.counters[name] += n;
+}
+
+void CounterRegistry::add_thread_time(const std::string& name, int tid,
+                                      double seconds, std::uint64_t items) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ThreadStat& t = data_.thread_times[name][tid];
+  t.seconds += seconds;
+  ++t.calls;
+  t.items += items;
+}
+
+Snapshot CounterRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_;
+}
+
+void CounterRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  data_ = Snapshot{};
+}
+
+Span::Span(const char* name) {
+  if (!enabled()) return;
+  active_ = true;
+  parent_len_ = t_span_path.size();
+  if (!t_span_path.empty()) t_span_path += '/';
+  t_span_path += name;
+  path_ = t_span_path;
+  timer_.reset();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const double dt = timer_.elapsed();
+  t_span_path.resize(parent_len_);
+  CounterRegistry::instance().add_span(path_, dt);
+}
+
+}  // namespace bspmv::observe

@@ -1,0 +1,457 @@
+#include "src/observe/report.hpp"
+
+#include <omp.h>
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "src/core/selector.hpp"
+#include "src/observe/observe.hpp"
+#include "src/util/macros.hpp"
+
+namespace bspmv::observe {
+
+namespace {
+
+constexpr ModelKind kModels[] = {ModelKind::kMem, ModelKind::kMemComp,
+                                 ModelKind::kOverlap, ModelKind::kMemLat};
+
+// Table IV convention: a selection is "optimal" when it reaches the best
+// measured time within timing noise.
+constexpr double kOptimalSlack = 1.005;
+
+Json::Object span_stat_json(const SpanStat& s) {
+  Json::Object o;
+  o["seconds"] = s.seconds;
+  o["calls"] = static_cast<std::uint64_t>(s.calls);
+  return o;
+}
+
+}  // namespace
+
+Json RunReport::to_json() const {
+  Json::Object o;
+  o["schema_version"] = kSchemaVersion;
+  o["kind"] = kKind;
+
+  Json::Object matrix;
+  matrix["name"] = matrix_name;
+  matrix["rows"] = static_cast<std::int64_t>(rows);
+  matrix["cols"] = static_cast<std::int64_t>(cols);
+  matrix["nnz"] = static_cast<std::uint64_t>(nnz);
+  matrix["csr_ws_bytes"] = static_cast<std::uint64_t>(csr_ws_bytes);
+  matrix["precision"] = precision;
+  o["matrix"] = std::move(matrix);
+
+  Json::Object machine;
+  machine["description"] = machine_description;
+  machine["bandwidth_bps"] = bandwidth_bps;
+  o["machine"] = std::move(machine);
+
+  Json::Object obs;
+  obs["hooks_enabled"] = hooks_enabled;
+  obs["runtime_enabled"] = runtime_enabled;
+  o["observe"] = std::move(obs);
+
+  Json::Object chosen;
+  chosen["id"] = chosen_id;
+  chosen["fallback"] = fallback;
+  Json::Array failures;
+  for (const auto& [id, reason] : prepare_failures) {
+    Json::Object f;
+    f["id"] = id;
+    f["reason"] = reason;
+    failures.push_back(std::move(f));
+  }
+  chosen["failures"] = std::move(failures);
+  o["chosen"] = std::move(chosen);
+
+  Json::Array cand_arr;
+  for (const CandidateReport& c : candidates) {
+    Json::Object jc;
+    jc["id"] = c.id;
+    jc["format"] = c.format;
+    jc["impl"] = c.impl;
+    jc["ws_bytes"] = static_cast<std::uint64_t>(c.ws_bytes);
+    Json::Object pred;
+    for (const auto& [m, s] : c.predicted_seconds) pred[m] = s;
+    jc["predicted"] = std::move(pred);
+    jc["measured"] = c.measured;
+    jc["measured_seconds"] = c.measured_seconds;
+    jc["skip_reason"] = c.skip_reason;
+    cand_arr.push_back(std::move(jc));
+  }
+  o["candidates"] = std::move(cand_arr);
+
+  Json::Array sel_arr;
+  for (const SelectionReport& s : selections) {
+    Json::Object js;
+    js["model"] = s.model;
+    js["selected"] = s.selected_id;
+    js["predicted_seconds"] = s.predicted_seconds;
+    js["measured_seconds"] = s.measured_seconds;
+    js["best"] = s.best_id;
+    js["best_seconds"] = s.best_seconds;
+    js["optimal"] = s.optimal;
+    js["off_best"] = s.off_best;
+    js["model_error"] = s.model_error;
+    sel_arr.push_back(std::move(js));
+  }
+  o["selections"] = std::move(sel_arr);
+
+  Json::Object threads_o;
+  threads_o["count"] = threads;
+  Json::Array samples;
+  for (const ThreadSample& t : thread_samples) {
+    Json::Object jt;
+    jt["tid"] = t.tid;
+    jt["seconds"] = t.seconds;
+    jt["calls"] = static_cast<std::uint64_t>(t.calls);
+    jt["items"] = static_cast<std::uint64_t>(t.items);
+    samples.push_back(std::move(jt));
+  }
+  threads_o["samples"] = std::move(samples);
+  o["threads"] = std::move(threads_o);
+
+  Json::Object phases_o;
+  for (const auto& [path, stat] : phases) phases_o[path] = span_stat_json(stat);
+  o["phases"] = std::move(phases_o);
+
+  Json::Object counters_o;
+  for (const auto& [name, n] : counters)
+    counters_o[name] = static_cast<std::uint64_t>(n);
+  o["counters"] = std::move(counters_o);
+
+  return Json(std::move(o));
+}
+
+RunReport RunReport::from_json(const Json& j) {
+  validate_report_json(j);
+  RunReport r;
+
+  const Json& matrix = j.at("matrix");
+  r.matrix_name = matrix.at("name").as_string();
+  r.rows = static_cast<std::int64_t>(matrix.at("rows").as_number());
+  r.cols = static_cast<std::int64_t>(matrix.at("cols").as_number());
+  r.nnz = static_cast<std::size_t>(matrix.at("nnz").as_number());
+  r.csr_ws_bytes =
+      static_cast<std::size_t>(matrix.at("csr_ws_bytes").as_number());
+  r.precision = matrix.at("precision").as_string();
+
+  const Json& machine = j.at("machine");
+  r.machine_description = machine.at("description").as_string();
+  r.bandwidth_bps = machine.at("bandwidth_bps").as_number();
+
+  const Json& obs = j.at("observe");
+  r.hooks_enabled = obs.at("hooks_enabled").as_bool();
+  r.runtime_enabled = obs.at("runtime_enabled").as_bool();
+
+  const Json& chosen = j.at("chosen");
+  r.chosen_id = chosen.at("id").as_string();
+  r.fallback = chosen.at("fallback").as_bool();
+  for (const Json& f : chosen.at("failures").as_array())
+    r.prepare_failures.emplace_back(f.at("id").as_string(),
+                                    f.at("reason").as_string());
+
+  for (const Json& jc : j.at("candidates").as_array()) {
+    CandidateReport c;
+    c.id = jc.at("id").as_string();
+    c.format = jc.at("format").as_string();
+    c.impl = jc.at("impl").as_string();
+    c.ws_bytes = static_cast<std::size_t>(jc.at("ws_bytes").as_number());
+    for (const auto& [m, s] : jc.at("predicted").as_object())
+      c.predicted_seconds[m] = s.as_number();
+    c.measured = jc.at("measured").as_bool();
+    c.measured_seconds = jc.at("measured_seconds").as_number();
+    c.skip_reason = jc.at("skip_reason").as_string();
+    r.candidates.push_back(std::move(c));
+  }
+
+  for (const Json& js : j.at("selections").as_array()) {
+    SelectionReport s;
+    s.model = js.at("model").as_string();
+    s.selected_id = js.at("selected").as_string();
+    s.predicted_seconds = js.at("predicted_seconds").as_number();
+    s.measured_seconds = js.at("measured_seconds").as_number();
+    s.best_id = js.at("best").as_string();
+    s.best_seconds = js.at("best_seconds").as_number();
+    s.optimal = js.at("optimal").as_bool();
+    s.off_best = js.at("off_best").as_number();
+    s.model_error = js.at("model_error").as_number();
+    r.selections.push_back(std::move(s));
+  }
+
+  const Json& threads_j = j.at("threads");
+  r.threads = static_cast<int>(threads_j.at("count").as_number());
+  for (const Json& jt : threads_j.at("samples").as_array()) {
+    ThreadSample t;
+    t.tid = static_cast<int>(jt.at("tid").as_number());
+    t.seconds = jt.at("seconds").as_number();
+    t.calls = static_cast<std::uint64_t>(jt.at("calls").as_number());
+    t.items = static_cast<std::uint64_t>(jt.at("items").as_number());
+    r.thread_samples.push_back(t);
+  }
+
+  for (const auto& [path, stat] : j.at("phases").as_object()) {
+    SpanStat s;
+    s.seconds = stat.at("seconds").as_number();
+    s.calls = static_cast<std::uint64_t>(stat.at("calls").as_number());
+    r.phases[path] = s;
+  }
+
+  for (const auto& [name, n] : j.at("counters").as_object())
+    r.counters[name] = static_cast<std::uint64_t>(n.as_number());
+
+  return r;
+}
+
+std::string RunReport::to_csv() const {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "id,format,impl,ws_bytes,pred_mem,pred_memcomp,pred_overlap,"
+        "pred_memlat,measured_seconds,skip_reason\n";
+  for (const CandidateReport& c : candidates) {
+    os << c.id << ',' << c.format << ',' << c.impl << ',' << c.ws_bytes;
+    for (const char* m : {"mem", "memcomp", "overlap", "memlat"}) {
+      auto it = c.predicted_seconds.find(m);
+      os << ',';
+      if (it != c.predicted_seconds.end()) os << it->second;
+    }
+    os << ',';
+    if (c.measured) os << c.measured_seconds;
+    // Reasons may contain commas; CSV-quote the free-text column.
+    os << ",\"";
+    for (char ch : c.skip_reason) {
+      if (ch == '"') os << '"';
+      os << ch;
+    }
+    os << "\"\n";
+  }
+  return os.str();
+}
+
+void validate_report_json(const Json& j) {
+  const auto fail = [](const std::string& what) {
+    throw validation_error("run report: " + what);
+  };
+  if (!j.is_object()) fail("document is not an object");
+  if (!j.contains("kind") || !j.at("kind").is_string() ||
+      j.at("kind").as_string() != RunReport::kKind)
+    fail("missing or wrong kind (expected bspmv_run_report)");
+  if (!j.contains("schema_version") ||
+      static_cast<int>(j.at("schema_version").as_number()) !=
+          RunReport::kSchemaVersion)
+    fail("schema version mismatch; expected " +
+         std::to_string(RunReport::kSchemaVersion));
+
+  for (const char* key : {"matrix", "machine", "observe", "chosen",
+                          "candidates", "selections", "threads", "phases",
+                          "counters"})
+    if (!j.contains(key)) fail(std::string("missing section: ") + key);
+
+  const Json& matrix = j.at("matrix");
+  for (const char* key : {"name", "rows", "cols", "nnz", "precision"})
+    if (!matrix.contains(key))
+      fail(std::string("matrix section missing: ") + key);
+
+  const auto& cands = j.at("candidates").as_array();
+  if (cands.empty()) fail("candidates array is empty");
+  for (const Json& c : cands) {
+    if (!c.contains("id") || !c.contains("predicted"))
+      fail("candidate entry missing id/predicted");
+    const auto& pred = c.at("predicted").as_object();
+    for (const char* m : {"mem", "memcomp", "overlap"})
+      if (pred.find(m) == pred.end())
+        fail("candidate " + c.at("id").as_string() +
+             " missing prediction for model " + m);
+  }
+
+  const auto& sels = j.at("selections").as_array();
+  for (const char* m : {"mem", "memcomp", "overlap", "memlat"}) {
+    bool found = false;
+    for (const Json& s : sels)
+      if (s.at("model").as_string() == m) found = true;
+    if (!found) fail(std::string("no selection entry for model ") + m);
+  }
+
+  const Json& threads_j = j.at("threads");
+  if (static_cast<int>(threads_j.at("count").as_number()) < 1)
+    fail("threads.count must be >= 1");
+  const Json& obs = j.at("observe");
+  if (obs.at("hooks_enabled").as_bool() &&
+      obs.at("runtime_enabled").as_bool() &&
+      threads_j.at("samples").as_array().empty())
+    fail("hooks were live but threads.samples is empty");
+}
+
+// ------------------------------------------------------------ builder ----
+
+template <class V>
+RunReport build_run_report(const Csr<V>& a, const std::string& name,
+                           const MachineProfile& profile,
+                           const ReportOptions& opt) {
+  CounterRegistry::instance().reset();
+  BSPMV_OBS_SPAN("report");
+
+  RunReport r;
+  r.matrix_name = name;
+  r.rows = a.rows();
+  r.cols = a.cols();
+  r.nnz = a.nnz();
+  r.csr_ws_bytes = a.working_set_bytes();
+  constexpr Precision prec = precision_of<V>;
+  r.precision = precision_name(prec);
+  r.machine_description = profile.description;
+  r.bandwidth_bps = profile.bandwidth_bps;
+  r.runtime_enabled = enabled();
+  r.threads = opt.threads > 0 ? opt.threads : omp_get_max_threads();
+
+  const std::vector<Candidate> cands = model_candidates(true);
+  const std::vector<CandidateCost> costs = all_candidate_costs(a, cands);
+  const IrregularityStats irr = irregularity_stats(a);
+
+  // Predicted (every model) and measured time per candidate — Fig. 3.
+  std::map<std::string, double> measured;
+  for (const CandidateCost& cost : costs) {
+    CandidateReport cr;
+    cr.id = cost.candidate.id();
+    cr.format = format_name(cost.candidate.kind);
+    cr.impl = impl_name(cost.candidate.impl);
+    cr.ws_bytes = cost.total_ws();
+    for (ModelKind m : kModels)
+      cr.predicted_seconds[model_name(m)] =
+          predict(m, cost, profile, prec, &irr);
+    if (opt.measure_candidates) {
+      std::string reason;
+      if (auto f = try_convert(a, cost.candidate, &reason)) {
+        cr.measured_seconds = measure_spmv_seconds(*f, opt.measure);
+        cr.measured = true;
+        measured[cr.id] = cr.measured_seconds;
+      } else {
+        cr.skip_reason = std::move(reason);
+      }
+    }
+    r.candidates.push_back(std::move(cr));
+  }
+  if (opt.verbose)
+    std::fprintf(stderr, "report: measured %zu/%zu candidates\n",
+                 measured.size(), costs.size());
+
+  std::string best_id;
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& [id, secs] : measured)
+    if (secs < best) {
+      best = secs;
+      best_id = id;
+    }
+
+  // Each model's selection scored against the measured best — Table IV.
+  for (ModelKind m : kModels) {
+    const RankedCandidate sel = select_best(m, a, profile);
+    SelectionReport s;
+    s.model = model_name(m);
+    s.selected_id = sel.candidate.id();
+    s.predicted_seconds = sel.predicted_seconds;
+    s.best_id = best_id;
+    s.best_seconds = std::isfinite(best) ? best : 0.0;
+    auto it = measured.find(s.selected_id);
+    if (it != measured.end() && std::isfinite(best) && best > 0.0) {
+      s.measured_seconds = it->second;
+      s.off_best = it->second / best - 1.0;
+      s.optimal = s.selected_id == best_id || it->second <= best * kOptimalSlack;
+      s.model_error = (s.predicted_seconds - it->second) / it->second;
+    }
+    r.selections.push_back(std::move(s));
+  }
+
+  // Fault-tolerant selection (OVERLAP, the paper's most accurate model)
+  // and its audit trail.
+  PreparedExecutor<V> prep = select_and_prepare(ModelKind::kOverlap, a, profile);
+  r.chosen_id = prep.format.candidate().id();
+  r.fallback = prep.fallback;
+  for (const PrepareFailure& f : prep.failures)
+    r.prepare_failures.emplace_back(f.candidate.id(), f.reason);
+
+  // Multithreaded run of the chosen candidate: the parallel drivers feed
+  // per-thread kernel time + assigned weights into the registry.
+  try {
+    (void)measure_threaded_seconds(a, prep.format.candidate(), r.threads,
+                                   opt.measure);
+  } catch (const error&) {
+    // Chosen format not parallelised (cannot happen for model candidates,
+    // which are all §V-A formats; kept as a guard for future sets).
+  }
+
+  const Snapshot snap = CounterRegistry::instance().snapshot();
+  r.phases = snap.spans;
+  r.counters = snap.counters;
+  std::map<int, ThreadSample> per_tid;
+  for (const auto& [metric, tids] : snap.thread_times) {
+    (void)metric;
+    for (const auto& [tid, st] : tids) {
+      ThreadSample& t = per_tid[tid];
+      t.tid = tid;
+      t.seconds += st.seconds;
+      t.calls += st.calls;
+      t.items += st.items;
+    }
+  }
+  for (const auto& [tid, t] : per_tid) r.thread_samples.push_back(t);
+  return r;
+}
+
+// --------------------------------------------------------- trajectory ----
+
+void append_to_trajectory(const std::string& path, const Json& entry) {
+  constexpr int kTrajectorySchema = 1;
+  constexpr const char* kTrajectoryKind = "bspmv_trajectory";
+
+  Json doc;
+  bool fresh = true;
+  {
+    std::ifstream f(path);
+    if (f) {
+      std::ostringstream ss;
+      ss << f.rdbuf();
+      try {
+        doc = Json::parse(ss.str());
+        if (!doc.is_object() || !doc.contains("kind") ||
+            doc.at("kind").as_string() != kTrajectoryKind ||
+            static_cast<int>(doc.at("schema_version").as_number()) !=
+                kTrajectorySchema)
+          throw validation_error("kind/schema mismatch");
+        fresh = false;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "warning: ignoring trajectory %s (%s); restarting\n",
+                     path.c_str(), e.what());
+      }
+    }
+  }
+  if (fresh) {
+    Json::Object o;
+    o["schema_version"] = kTrajectorySchema;
+    o["kind"] = kTrajectoryKind;
+    o["entries"] = Json::Array{};
+    doc = Json(std::move(o));
+  }
+  doc["entries"].as_array().push_back(entry);
+
+  std::ofstream f(path);
+  BSPMV_CHECK_MSG(static_cast<bool>(f), "cannot write trajectory " + path);
+  f << doc.dump(-1) << '\n';
+}
+
+#define BSPMV_INST(V)                                          \
+  template RunReport build_run_report(                         \
+      const Csr<V>&, const std::string&, const MachineProfile&, \
+      const ReportOptions&);
+BSPMV_INST(float)
+BSPMV_INST(double)
+#undef BSPMV_INST
+
+}  // namespace bspmv::observe

@@ -1,0 +1,152 @@
+// RunReport — the auditable model-vs-measured record of one autotuning
+// run, the machine-readable counterpart of the paper's evaluation:
+//
+//   - per candidate: predicted seconds under every model (MEM eq. 1,
+//     MEMCOMP eq. 2, OVERLAP eq. 3, plus the MEMLAT extension) next to
+//     the measured seconds — the Fig. 3 view;
+//   - per model: the selected candidate, its measured distance from the
+//     best measured candidate, and whether the selection was optimal —
+//     the Table IV selection-accuracy view;
+//   - per thread: kernel time and assigned stored values from the §V-A
+//     nnz-balanced parallel drivers — the load-imbalance view;
+//   - the phase spans and counters accumulated by the observability
+//     hooks (src/observe/observe.hpp) during the run.
+//
+// Serialised as schema-versioned JSON (see docs/observability.md for the
+// schema) and a flat CSV of the candidate table. Consumed by
+// `mtx_tool report`, the bench harness's BENCH_report.json trajectory,
+// and scripts/make_report.sh.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/executor.hpp"
+#include "src/core/models.hpp"
+#include "src/observe/registry.hpp"
+#include "src/util/json.hpp"
+
+namespace bspmv::observe {
+
+/// One candidate's predicted-vs-measured record.
+struct CandidateReport {
+  std::string id;       ///< e.g. "bcsr_3x3_simd"
+  std::string format;   ///< format_name(kind)
+  std::string impl;     ///< "scalar" / "simd"
+  std::size_t ws_bytes = 0;  ///< model working set (eq. 1 numerator)
+  /// model name -> predicted seconds per SpMV.
+  std::map<std::string, double> predicted_seconds;
+  double measured_seconds = 0.0;  ///< valid only when `measured`
+  bool measured = false;
+  std::string skip_reason;  ///< why conversion/measurement was skipped
+};
+
+/// One model's selection, scored against the best measured candidate the
+/// way Table IV scores "optimal predictions".
+struct SelectionReport {
+  std::string model;
+  std::string selected_id;
+  double predicted_seconds = 0.0;
+  double measured_seconds = 0.0;  ///< measured time of the selection
+  std::string best_id;            ///< fastest measured candidate
+  double best_seconds = 0.0;
+  bool optimal = false;     ///< selection within noise of the best
+  double off_best = 0.0;    ///< measured/best - 1
+  double model_error = 0.0; ///< (predicted - measured)/measured
+};
+
+/// One OpenMP thread's accumulated kernel work (totals over all timed
+/// run() calls; divide by `calls` for per-SpMV numbers).
+struct ThreadSample {
+  int tid = 0;
+  double seconds = 0.0;
+  std::uint64_t calls = 0;
+  std::uint64_t items = 0;  ///< stored values incl. padding, per §V-A weights
+};
+
+struct RunReport {
+  /// Bump on any change to the JSON layout; validate_report_json and
+  /// from_json reject mismatches (same policy as MachineProfile).
+  static constexpr int kSchemaVersion = 1;
+  static constexpr const char* kKind = "bspmv_run_report";
+
+  // Matrix identity and structure.
+  std::string matrix_name;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::size_t nnz = 0;
+  std::size_t csr_ws_bytes = 0;
+  std::string precision;  ///< "sp" / "dp"
+
+  // Machine provenance (enough to interpret the predictions).
+  std::string machine_description;
+  double bandwidth_bps = 0.0;
+
+  // Observability configuration this report was produced under.
+  bool hooks_enabled = kHooksEnabled;
+  bool runtime_enabled = true;
+
+  // The fault-tolerant selection outcome (select_and_prepare).
+  std::string chosen_id;
+  bool fallback = false;
+  std::vector<std::pair<std::string, std::string>> prepare_failures;
+
+  std::vector<CandidateReport> candidates;
+  std::vector<SelectionReport> selections;
+
+  int threads = 0;  ///< thread count of the parallel timing step
+  std::vector<ThreadSample> thread_samples;
+
+  std::map<std::string, SpanStat> phases;
+  std::map<std::string, std::uint64_t> counters;
+
+  Json to_json() const;
+  /// Parse; throws bspmv::validation_error on schema/kind mismatch or a
+  /// structurally broken document.
+  static RunReport from_json(const Json& j);
+  /// Flat candidate table: one row per candidate, one column per model.
+  std::string to_csv() const;
+};
+
+/// Structural validation of a serialised report: kind, schema version,
+/// required sections, per-candidate prediction completeness, and (when
+/// the report says hooks were live) non-empty per-thread timing. Throws
+/// bspmv::validation_error naming the broken invariant.
+void validate_report_json(const Json& j);
+
+struct ReportOptions {
+  MeasureOptions measure;      ///< per-candidate timing knobs
+  int threads = 0;             ///< 0 = omp_get_max_threads()
+  bool measure_candidates = true;  ///< measure every candidate (Fig. 3 view)
+  bool verbose = false;        ///< progress on stderr
+};
+
+/// Build the full report for one matrix: predict every model candidate
+/// under all four models, measure each one that converts, score every
+/// model's selection against the measured best, run the chosen candidate
+/// multithreaded for per-thread timing, and snapshot the observability
+/// registry. Resets the global CounterRegistry first so the embedded
+/// spans/counters describe this run only.
+template <class V>
+RunReport build_run_report(const Csr<V>& a, const std::string& name,
+                           const MachineProfile& profile,
+                           const ReportOptions& opt = {});
+
+/// Append one JSON entry to a schema-versioned trajectory file
+/// ({schema_version, kind: "bspmv_trajectory", entries: [...]}). A
+/// missing file is created; a corrupt or version-mismatched one is
+/// warned about and restarted (warn-and-regenerate, DESIGN.md §7).
+void append_to_trajectory(const std::string& path, const Json& entry);
+
+#define BSPMV_DECL(V)                                          \
+  extern template RunReport build_run_report(                  \
+      const Csr<V>&, const std::string&, const MachineProfile&, \
+      const ReportOptions&);
+BSPMV_DECL(float)
+BSPMV_DECL(double)
+#undef BSPMV_DECL
+
+}  // namespace bspmv::observe

@@ -7,6 +7,7 @@
 #include "src/kernels/bcsd_kernels.hpp"
 #include "src/kernels/bcsr_kernels.hpp"
 #include "src/kernels/csr_kernels.hpp"
+#include "src/observe/observe.hpp"
 #include "src/util/macros.hpp"
 
 namespace bspmv {
@@ -25,6 +26,7 @@ ThreadedCsrSpmv<V>::ThreadedCsrSpmv(const Csr<V>& a, int threads)
     : a_(&a), threads_(checked_threads(threads)) {
   const auto w = row_weights(a);
   bounds_ = balanced_partition(w, threads_);
+  part_weights_ = part_weight_sums(w, bounds_);
 }
 
 template <class V>
@@ -32,6 +34,7 @@ void ThreadedCsrSpmv<V>::run(const V* x, V* y, Impl impl) const {
 #pragma omp parallel num_threads(threads_)
   {
     const int tid = omp_get_thread_num();
+    BSPMV_OBS_THREAD_TIMER(obs_timer);
     const index_t r0 = bounds_[static_cast<std::size_t>(tid)];
     const index_t r1 = bounds_[static_cast<std::size_t>(tid) + 1];
     std::fill(y + r0, y + r1, V{0});
@@ -39,6 +42,8 @@ void ThreadedCsrSpmv<V>::run(const V* x, V* y, Impl impl) const {
       csr_spmv_simd(*a_, r0, r1, x, y);
     else
       csr_spmv_scalar(*a_, r0, r1, x, y);
+    BSPMV_OBS_THREAD_RECORD("parallel/csr", tid, obs_timer,
+                            part_weights_[static_cast<std::size_t>(tid)]);
   }
 }
 
@@ -49,6 +54,7 @@ ThreadedBcsrSpmv<V>::ThreadedBcsrSpmv(const Bcsr<V>& a, int threads)
     : a_(&a), threads_(checked_threads(threads)) {
   const auto w = block_row_weights(a);
   bounds_ = balanced_partition(w, threads_);
+  part_weights_ = part_weight_sums(w, bounds_);
 }
 
 template <class V>
@@ -59,10 +65,13 @@ void ThreadedBcsrSpmv<V>::run(const V* x, V* y, Impl impl) const {
 #pragma omp parallel num_threads(threads_)
   {
     const int tid = omp_get_thread_num();
+    BSPMV_OBS_THREAD_TIMER(obs_timer);
     const index_t br0 = bounds_[static_cast<std::size_t>(tid)];
     const index_t br1 = bounds_[static_cast<std::size_t>(tid) + 1];
     std::fill(y + std::min(n, br0 * r), y + std::min(n, br1 * r), V{0});
     fn(*a_, br0, br1, x, y);
+    BSPMV_OBS_THREAD_RECORD("parallel/bcsr", tid, obs_timer,
+                            part_weights_[static_cast<std::size_t>(tid)]);
   }
 }
 
@@ -73,6 +82,7 @@ ThreadedBcsdSpmv<V>::ThreadedBcsdSpmv(const Bcsd<V>& a, int threads)
     : a_(&a), threads_(checked_threads(threads)) {
   const auto w = segment_weights(a);
   bounds_ = balanced_partition(w, threads_);
+  part_weights_ = part_weight_sums(w, bounds_);
 }
 
 template <class V>
@@ -83,10 +93,13 @@ void ThreadedBcsdSpmv<V>::run(const V* x, V* y, Impl impl) const {
 #pragma omp parallel num_threads(threads_)
   {
     const int tid = omp_get_thread_num();
+    BSPMV_OBS_THREAD_TIMER(obs_timer);
     const index_t s0 = bounds_[static_cast<std::size_t>(tid)];
     const index_t s1 = bounds_[static_cast<std::size_t>(tid) + 1];
     std::fill(y + std::min(n, s0 * b), y + std::min(n, s1 * b), V{0});
     fn(*a_, s0, s1, x, y);
+    BSPMV_OBS_THREAD_RECORD("parallel/bcsd", tid, obs_timer,
+                            part_weights_[static_cast<std::size_t>(tid)]);
   }
 }
 
@@ -95,9 +108,14 @@ void ThreadedBcsdSpmv<V>::run(const V* x, V* y, Impl impl) const {
 template <class V>
 ThreadedBcsrDecSpmv<V>::ThreadedBcsrDecSpmv(const BcsrDec<V>& a, int threads)
     : a_(&a), threads_(checked_threads(threads)) {
-  blocked_bounds_ =
-      balanced_partition(block_row_weights(a.blocked()), threads_);
-  rem_bounds_ = balanced_partition(row_weights(a.remainder()), threads_);
+  const auto bw = block_row_weights(a.blocked());
+  const auto rw = row_weights(a.remainder());
+  blocked_bounds_ = balanced_partition(bw, threads_);
+  rem_bounds_ = balanced_partition(rw, threads_);
+  part_weights_ = part_weight_sums(bw, blocked_bounds_);
+  const auto rem_sums = part_weight_sums(rw, rem_bounds_);
+  for (std::size_t p = 0; p < part_weights_.size(); ++p)
+    part_weights_[p] += rem_sums[p];
 }
 
 template <class V>
@@ -108,6 +126,7 @@ void ThreadedBcsrDecSpmv<V>::run(const V* x, V* y, Impl impl) const {
 #pragma omp parallel num_threads(threads_)
   {
     const int tid = omp_get_thread_num();
+    BSPMV_OBS_THREAD_TIMER(obs_timer);
     // Pass 1: blocked submatrix (also zeroes this thread's y rows).
     const index_t br0 = blocked_bounds_[static_cast<std::size_t>(tid)];
     const index_t br1 = blocked_bounds_[static_cast<std::size_t>(tid) + 1];
@@ -122,6 +141,8 @@ void ThreadedBcsrDecSpmv<V>::run(const V* x, V* y, Impl impl) const {
       csr_spmv_simd(a_->remainder(), r0, r1, x, y);
     else
       csr_spmv_scalar(a_->remainder(), r0, r1, x, y);
+    BSPMV_OBS_THREAD_RECORD("parallel/bcsr_dec", tid, obs_timer,
+                            part_weights_[static_cast<std::size_t>(tid)]);
   }
 }
 
@@ -130,8 +151,14 @@ void ThreadedBcsrDecSpmv<V>::run(const V* x, V* y, Impl impl) const {
 template <class V>
 ThreadedBcsdDecSpmv<V>::ThreadedBcsdDecSpmv(const BcsdDec<V>& a, int threads)
     : a_(&a), threads_(checked_threads(threads)) {
-  blocked_bounds_ = balanced_partition(segment_weights(a.blocked()), threads_);
-  rem_bounds_ = balanced_partition(row_weights(a.remainder()), threads_);
+  const auto bw = segment_weights(a.blocked());
+  const auto rw = row_weights(a.remainder());
+  blocked_bounds_ = balanced_partition(bw, threads_);
+  rem_bounds_ = balanced_partition(rw, threads_);
+  part_weights_ = part_weight_sums(bw, blocked_bounds_);
+  const auto rem_sums = part_weight_sums(rw, rem_bounds_);
+  for (std::size_t p = 0; p < part_weights_.size(); ++p)
+    part_weights_[p] += rem_sums[p];
 }
 
 template <class V>
@@ -142,6 +169,7 @@ void ThreadedBcsdDecSpmv<V>::run(const V* x, V* y, Impl impl) const {
 #pragma omp parallel num_threads(threads_)
   {
     const int tid = omp_get_thread_num();
+    BSPMV_OBS_THREAD_TIMER(obs_timer);
     const index_t s0 = blocked_bounds_[static_cast<std::size_t>(tid)];
     const index_t s1 = blocked_bounds_[static_cast<std::size_t>(tid) + 1];
     std::fill(y + std::min(n, s0 * b), y + std::min(n, s1 * b), V{0});
@@ -153,6 +181,8 @@ void ThreadedBcsdDecSpmv<V>::run(const V* x, V* y, Impl impl) const {
       csr_spmv_simd(a_->remainder(), r0, r1, x, y);
     else
       csr_spmv_scalar(a_->remainder(), r0, r1, x, y);
+    BSPMV_OBS_THREAD_RECORD("parallel/bcsd_dec", tid, obs_timer,
+                            part_weights_[static_cast<std::size_t>(tid)]);
   }
 }
 

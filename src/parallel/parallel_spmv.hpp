@@ -6,6 +6,12 @@
 // row-granule partition once; run() then executes y = A·x with each thread
 // owning a disjoint row range, so no synchronisation is needed beyond the
 // implicit barrier between the decomposed formats' two passes.
+//
+// Observability: when built with BSPMV_OBSERVE (src/observe/observe.hpp),
+// every run() records each thread's kernel wall time and assigned stored
+// values (the §V-A partition weights, padding included) under the
+// "parallel/<format>" metric — the per-thread load-imbalance telemetry a
+// RunReport exposes.
 #pragma once
 
 #include <vector>
@@ -27,6 +33,7 @@ class ThreadedCsrSpmv {
   const Csr<V>* a_;
   int threads_;
   std::vector<index_t> bounds_;  // row boundaries, threads_+1
+  std::vector<std::size_t> part_weights_;  // stored values per thread
 };
 
 template <class V>
@@ -40,6 +47,7 @@ class ThreadedBcsrSpmv {
   const Bcsr<V>* a_;
   int threads_;
   std::vector<index_t> bounds_;  // block-row boundaries
+  std::vector<std::size_t> part_weights_;  // stored values per thread
 };
 
 template <class V>
@@ -53,6 +61,7 @@ class ThreadedBcsdSpmv {
   const Bcsd<V>* a_;
   int threads_;
   std::vector<index_t> bounds_;  // segment boundaries
+  std::vector<std::size_t> part_weights_;  // stored values per thread
 };
 
 template <class V>
@@ -67,6 +76,7 @@ class ThreadedBcsrDecSpmv {
   int threads_;
   std::vector<index_t> blocked_bounds_;  // block rows of the blocked part
   std::vector<index_t> rem_bounds_;      // rows of the CSR remainder
+  std::vector<std::size_t> part_weights_;  // stored values per thread (both passes)
 };
 
 template <class V>
@@ -81,6 +91,7 @@ class ThreadedBcsdDecSpmv {
   int threads_;
   std::vector<index_t> blocked_bounds_;  // segments of the blocked part
   std::vector<index_t> rem_bounds_;      // rows of the CSR remainder
+  std::vector<std::size_t> part_weights_;  // stored values per thread (both passes)
 };
 
 #define BSPMV_DECL(V)                          \

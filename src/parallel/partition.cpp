@@ -28,6 +28,16 @@ std::vector<index_t> balanced_partition(std::span<const std::size_t> weights,
   return bounds;
 }
 
+std::vector<std::size_t> part_weight_sums(std::span<const std::size_t> weights,
+                                          std::span<const index_t> bounds) {
+  BSPMV_CHECK_MSG(bounds.size() >= 2, "bounds must delimit at least one part");
+  std::vector<std::size_t> sums(bounds.size() - 1, 0);
+  for (std::size_t p = 0; p + 1 < bounds.size(); ++p)
+    for (index_t u = bounds[p]; u < bounds[p + 1]; ++u)
+      sums[p] += weights[static_cast<std::size_t>(u)];
+  return sums;
+}
+
 template <class V>
 std::vector<std::size_t> row_weights(const Csr<V>& a) {
   std::vector<std::size_t> w(static_cast<std::size_t>(a.rows()));

@@ -24,6 +24,13 @@ namespace bspmv {
 std::vector<index_t> balanced_partition(std::span<const std::size_t> weights,
                                         int parts);
 
+/// Total weight per part for `bounds` as produced by balanced_partition:
+/// result[p] = Σ weights[bounds[p] .. bounds[p+1]). The observability
+/// hooks report this as each thread's assigned stored values, making load
+/// imbalance directly visible in a RunReport.
+std::vector<std::size_t> part_weight_sums(std::span<const std::size_t> weights,
+                                          std::span<const index_t> bounds);
+
 /// Per-row stored-value weights (CSR: row nnz).
 template <class V>
 std::vector<std::size_t> row_weights(const Csr<V>& a);

@@ -1,0 +1,137 @@
+// Edge cases for the §V-A nnz-balanced partitioner: empty matrices, more
+// threads than row granules, single pathologically heavy rows — plus the
+// structural invariants every bounds vector must satisfy (monotone,
+// starts at 0, ends at n) and the part_weight_sums companion the
+// observability hooks report as per-thread load.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/parallel/partition.hpp"
+#include "src/util/errors.hpp"
+#include "tests/test_helpers.hpp"
+
+using namespace bspmv;
+
+namespace {
+
+/// Assert the structural contract of balanced_partition's result:
+/// parts+1 boundaries, first 0, last n, non-decreasing — so the ranges
+/// are valid, disjoint, and cover [0, n) exactly.
+void expect_valid_bounds(const std::vector<index_t>& bounds, int parts,
+                         std::size_t n) {
+  ASSERT_EQ(bounds.size(), static_cast<std::size_t>(parts) + 1);
+  EXPECT_EQ(bounds.front(), 0);
+  EXPECT_EQ(bounds.back(), static_cast<index_t>(n));
+  for (std::size_t p = 0; p + 1 < bounds.size(); ++p)
+    EXPECT_LE(bounds[p], bounds[p + 1]) << "bounds not monotone at " << p;
+}
+
+TEST(PartitionEdges, EmptyWeights) {
+  const std::vector<std::size_t> w;
+  for (int parts : {1, 2, 8}) {
+    const auto bounds = balanced_partition(w, parts);
+    expect_valid_bounds(bounds, parts, 0);
+    const auto sums = part_weight_sums(w, bounds);
+    for (std::size_t s : sums) EXPECT_EQ(s, 0u);
+  }
+}
+
+TEST(PartitionEdges, MoreThreadsThanRows) {
+  const std::vector<std::size_t> w = {5, 3, 7};  // 3 granules, 8 threads
+  const auto bounds = balanced_partition(w, 8);
+  expect_valid_bounds(bounds, 8, w.size());
+  // Every granule is assigned exactly once; surplus parts are empty.
+  const auto sums = part_weight_sums(w, bounds);
+  EXPECT_EQ(std::accumulate(sums.begin(), sums.end(), std::size_t{0}), 15u);
+  int non_empty = 0;
+  for (std::size_t s : sums) non_empty += s > 0 ? 1 : 0;
+  EXPECT_LE(non_empty, 3);
+}
+
+TEST(PartitionEdges, SingleHeavyRow) {
+  // One row dominates: it must land in exactly one part and the cuts
+  // around it must stay valid.
+  std::vector<std::size_t> w(100, 1);
+  w[40] = 100000;
+  const auto bounds = balanced_partition(w, 4);
+  expect_valid_bounds(bounds, 4, w.size());
+  const auto sums = part_weight_sums(w, bounds);
+  EXPECT_EQ(std::accumulate(sums.begin(), sums.end(), std::size_t{0}),
+            100099u);
+  int heavy_parts = 0;
+  for (std::size_t s : sums) heavy_parts += s >= 100000 ? 1 : 0;
+  EXPECT_EQ(heavy_parts, 1);
+}
+
+TEST(PartitionEdges, AllZeroWeights) {
+  const std::vector<std::size_t> w(10, 0);
+  const auto bounds = balanced_partition(w, 4);
+  expect_valid_bounds(bounds, 4, w.size());
+}
+
+TEST(PartitionEdges, SingleGranule) {
+  const std::vector<std::size_t> w = {42};
+  for (int parts : {1, 2, 16}) {
+    const auto bounds = balanced_partition(w, parts);
+    expect_valid_bounds(bounds, parts, 1);
+    const auto sums = part_weight_sums(w, bounds);
+    EXPECT_EQ(std::accumulate(sums.begin(), sums.end(), std::size_t{0}), 42u);
+  }
+}
+
+TEST(PartitionEdges, InvalidArguments) {
+  const std::vector<std::size_t> w = {1, 2, 3};
+  EXPECT_THROW(balanced_partition(w, 0), invalid_argument_error);
+  EXPECT_THROW(balanced_partition(w, -1), invalid_argument_error);
+  const std::vector<index_t> too_short = {0};
+  EXPECT_THROW(part_weight_sums(w, too_short), invalid_argument_error);
+}
+
+TEST(PartitionEdges, InvariantsAcrossSweep) {
+  // Deterministic pseudo-random weights over many (n, parts) combinations:
+  // the structural contract and weight conservation must always hold.
+  Xoshiro256 rng(123);
+  for (std::size_t n : {0u, 1u, 2u, 7u, 64u, 1000u}) {
+    std::vector<std::size_t> w(n);
+    for (auto& x : w) x = static_cast<std::size_t>(rng.uniform() * 50.0);
+    const std::size_t total = std::accumulate(w.begin(), w.end(),
+                                              std::size_t{0});
+    for (int parts : {1, 2, 3, 8, 64}) {
+      const auto bounds = balanced_partition(w, parts);
+      expect_valid_bounds(bounds, parts, n);
+      const auto sums = part_weight_sums(w, bounds);
+      EXPECT_EQ(std::accumulate(sums.begin(), sums.end(), std::size_t{0}),
+                total)
+          << "weight not conserved for n=" << n << " parts=" << parts;
+    }
+  }
+}
+
+TEST(PartitionEdges, PartWeightSumsMatchesManualSum) {
+  const std::vector<std::size_t> w = {4, 0, 9, 1, 1, 6};
+  const std::vector<index_t> bounds = {0, 2, 2, 5, 6};  // one empty part
+  const auto sums = part_weight_sums(w, bounds);
+  ASSERT_EQ(sums.size(), 4u);
+  EXPECT_EQ(sums[0], 4u);
+  EXPECT_EQ(sums[1], 0u);
+  EXPECT_EQ(sums[2], 11u);
+  EXPECT_EQ(sums[3], 6u);
+}
+
+TEST(PartitionEdges, BalanceQualityOnUniformWeights) {
+  // With equal weights and n divisible by parts, the greedy prefix cuts
+  // should produce a near-perfect split (each part within one granule of
+  // the ideal share).
+  const std::vector<std::size_t> w(64, 3);
+  const auto bounds = balanced_partition(w, 8);
+  expect_valid_bounds(bounds, 8, w.size());
+  const auto sums = part_weight_sums(w, bounds);
+  for (std::size_t s : sums) {
+    EXPECT_GE(s, 3u * 7u);
+    EXPECT_LE(s, 3u * 9u);
+  }
+}
+
+}  // namespace
