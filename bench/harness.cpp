@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/core/engine.hpp"
 #include "src/observe/report.hpp"
 #include "src/util/macros.hpp"
 
@@ -179,8 +180,8 @@ std::map<std::string, double> sweep_matrix(
       out[c.id()] = *hit;
       continue;
     }
-    const AnyFormat<V> f = AnyFormat<V>::convert(a, c);
-    const double secs = measure_spmv_seconds(f, cfg.measure);
+    const auto engine = SpmvEngine<V>::prepare(a, c);
+    const double secs = engine.measure(cfg.measure);
     cache.put(key, secs);
     out[c.id()] = secs;
     ++fresh;

@@ -12,6 +12,7 @@
 
 #include "src/core/executor.hpp"
 #include "src/core/selector.hpp"
+#include "src/kernels/spmv.hpp"
 #include "src/profile/block_profiler.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/timing.hpp"

@@ -11,6 +11,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/core/engine.hpp"
 #include "src/core/executor.hpp"
 #include "src/core/heuristic.hpp"
 #include "src/core/reorder.hpp"
@@ -81,7 +82,7 @@ int run_report(const CliParser& cli) {
   const MachineProfile profile = load_or_profile(cli.get("profile"), popt);
 
   observe::ReportOptions ropt;
-  ropt.measure.iterations = static_cast<int>(cli.get_int("iters"));
+  ropt.measure.iterations = static_cast<int>(cli.get_int("iterations"));
   ropt.measure.reps = static_cast<int>(cli.get_int("reps"));
   ropt.threads = static_cast<int>(cli.get_int("threads"));
   ropt.verbose = cli.get_flag("verbose");
@@ -131,8 +132,9 @@ int run(int argc, char** argv) {
   cli.add_option("append", "", "report: also append to this trajectory file");
   cli.add_option("validate", "", "report: validate this file and exit");
   cli.add_option("threads", "0", "report: thread count (0 = all cores)");
-  cli.add_option("iters", "10", "report: SpMV iterations per timed batch");
-  cli.add_option("reps", "2", "report: timed batches (min reported)");
+  cli.add_option("iterations", "10",
+                 "SpMV iterations per timed batch (paper setting: 100)");
+  cli.add_option("reps", "2", "timed batches (minimum time reported)");
   cli.add_flag("measure", "also measure the top candidates' real time");
   cli.add_flag("reorder", "apply the similarity row reordering first");
   cli.add_flag("verbose", "report: progress output on stderr");
@@ -195,15 +197,15 @@ int run(int argc, char** argv) {
   const auto top = static_cast<std::size_t>(cli.get_int("top"));
   std::printf("\ntop %zu candidates by the OVERLAP model:\n", top);
   MeasureOptions mopt;
-  mopt.iterations = 10;
+  mopt.iterations = static_cast<int>(cli.get_int("iterations"));
+  mopt.reps = static_cast<int>(cli.get_int("reps"));
   for (std::size_t i = 0; i < std::min(top, ranked.size()); ++i) {
     std::printf("  %2zu. %-22s predicted %.3f ms", i + 1,
                 ranked[i].candidate.id().c_str(),
                 ranked[i].predicted_seconds * 1e3);
     if (cli.get_flag("measure")) {
-      const AnyFormat<double> f =
-          AnyFormat<double>::convert(a, ranked[i].candidate);
-      std::printf("  measured %.3f ms", measure_spmv_seconds(f, mopt) * 1e3);
+      const auto engine = SpmvEngine<double>::prepare(a, ranked[i].candidate);
+      std::printf("  measured %.3f ms", engine.measure(mopt) * 1e3);
     }
     std::printf("\n");
   }

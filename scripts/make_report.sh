@@ -20,7 +20,7 @@ tool=build/examples/mtx_tool
 # Small dense-ish, large sparse, and the paper's hardest irregular case.
 for id in 2 8 21; do
   out="report_suite${id}.json"
-  "$tool" report --suite "$id" --scale tiny --iters 3 --reps 1 \
+  "$tool" report --suite "$id" --scale tiny --iterations 3 --reps 1 \
     --out "$out" --append BENCH_report.json
   "$tool" report --validate "$out"
 done

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "src/formats/block_shapes.hpp"
-#include "src/kernels/spmv.hpp"
+#include "src/kernels/impl.hpp"
 
 namespace bspmv {
 

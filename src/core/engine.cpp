@@ -1,0 +1,111 @@
+#include "src/core/engine.hpp"
+
+#include "src/observe/observe.hpp"
+#include "src/util/macros.hpp"
+#include "src/util/prng.hpp"
+
+namespace bspmv {
+
+namespace {
+
+template <class V>
+aligned_vector<V> random_vector(std::size_t n, std::uint64_t seed) {
+  aligned_vector<V> v(n);
+  Xoshiro256 rng(seed);
+  for (auto& e : v) e = static_cast<V>(rng.uniform() - 0.5);
+  return v;
+}
+
+}  // namespace
+
+template <class V>
+template <class F>
+struct SpmvEngine<V>::TypedPlan final : SpmvEngine<V>::Plan {
+  TypedPlan(const F& m, int threads) : driver(m, threads) {}
+  void run(const V* x, V* y, Impl impl) const override {
+    driver.run(x, y, impl);
+  }
+  ThreadedSpmv<F> driver;
+};
+
+template <class V>
+SpmvEngine<V> SpmvEngine<V>::prepare(const Csr<V>& a,
+                                     const std::vector<Candidate>& ranked,
+                                     int threads) {
+  SpmvEngine e;
+  e.owned_ =
+      std::make_unique<PreparedExecutor<V>>(try_prepare(a, ranked));
+  e.fmt_ = &e.owned_->format;
+  e.threads_ = threads;
+  e.build_plan();
+  return e;
+}
+
+template <class V>
+SpmvEngine<V> SpmvEngine<V>::prepare(const Csr<V>& a, const Candidate& c,
+                                     int threads) {
+  SpmvEngine e;
+  e.owned_ = std::make_unique<PreparedExecutor<V>>();
+  e.owned_->format = AnyFormat<V>::convert(a, c);
+  e.fmt_ = &e.owned_->format;
+  e.threads_ = threads;
+  e.build_plan();
+  return e;
+}
+
+template <class V>
+SpmvEngine<V> SpmvEngine<V>::borrow(const AnyFormat<V>& f, int threads) {
+  SpmvEngine e;
+  e.fmt_ = &f;
+  e.threads_ = threads;
+  e.build_plan();
+  return e;
+}
+
+template <class V>
+void SpmvEngine<V>::set_threads(int threads) {
+  if (threads == threads_ && (plan_ || threads == 0)) return;
+  threads_ = threads;
+  build_plan();
+}
+
+template <class V>
+void SpmvEngine<V>::build_plan() {
+  plan_.reset();
+  if (threads_ == 0) return;
+  plan_ = fmt_->visit([&](const auto& m) -> std::unique_ptr<Plan> {
+    using F = std::decay_t<decltype(m)>;
+    if constexpr (FormatOps<F>::kParallel) {
+      return std::make_unique<TypedPlan<F>>(m, threads_);
+    } else {
+      throw invalid_argument_error(
+          "SpmvEngine: format not parallelised (per §V-A)");
+    }
+  });
+}
+
+template <class V>
+void SpmvEngine<V>::run(const V* x, V* y) const {
+  if (plan_)
+    plan_->run(x, y, fmt_->candidate().impl);
+  else
+    fmt_->run(x, y);
+}
+
+template <class V>
+double SpmvEngine<V>::measure(const MeasureOptions& opt) const {
+  BSPMV_OBS_SPAN("measure");
+  BSPMV_OBS_SPAN(plan_ ? "threaded" : "spmv");
+  const auto x =
+      random_vector<V>(static_cast<std::size_t>(fmt_->cols()), opt.seed);
+  aligned_vector<V> y(static_cast<std::size_t>(fmt_->rows()), V{0});
+  const auto res = time_repeated([&] { run(x.data(), y.data()); },
+                                 opt.iterations, opt.reps, opt.warmup);
+  do_not_optimize(y.data());
+  return res.seconds_per_iter;
+}
+
+template class SpmvEngine<float>;
+template class SpmvEngine<double>;
+
+}  // namespace bspmv

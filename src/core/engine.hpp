@@ -1,0 +1,87 @@
+// SpmvEngine: the prepare-once / run-many facade over candidate
+// materialisation and execution.
+//
+// Conversion (and, for threaded execution, partition planning) happens
+// once at construction; run() and measure() then execute y = A·x as many
+// times as needed with zero per-call setup. The thread count selects the
+// execution plan:
+//
+//   threads == 0   single-threaded AnyFormat kernel (any format)
+//   threads >= 1   ThreadedSpmv partition plan with that many OpenMP
+//                  threads — only for the formats the paper parallelises
+//                  (§V-A: CSR/BCSR/BCSD and the decomposed variants);
+//                  other formats throw invalid_argument_error.
+//
+// Note `threads == 1` still runs the threaded driver (one-thread plan),
+// so single-thread baselines exercise the same code path and per-thread
+// telemetry as the scaling points, exactly like the paper's Fig. 2.
+//
+// The measurement loops are instrumented: spans "measure/spmv" (plain
+// plan) and "measure/threaded" (threaded plan), plus the per-thread
+// "parallel/<fmt>" metrics recorded by ThreadedSpmv itself.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/core/executor.hpp"
+
+namespace bspmv {
+
+template <class V>
+class SpmvEngine {
+ public:
+  /// Fault-tolerant prepare: walk `ranked` through try_prepare (falling
+  /// back to scalar CSR if every candidate fails), then build the plan.
+  static SpmvEngine prepare(const Csr<V>& a,
+                            const std::vector<Candidate>& ranked,
+                            int threads = 0);
+
+  /// Single-candidate prepare; conversion failures throw.
+  static SpmvEngine prepare(const Csr<V>& a, const Candidate& c,
+                            int threads = 0);
+
+  /// Non-owning engine over an already-materialised format; `f` must
+  /// outlive the engine.
+  static SpmvEngine borrow(const AnyFormat<V>& f, int threads = 0);
+
+  const AnyFormat<V>& format() const { return *fmt_; }
+  /// The prepare audit trail (fallback flag + skipped candidates), or
+  /// nullptr for borrow() / single-candidate engines.
+  const PreparedExecutor<V>* prepared() const { return owned_.get(); }
+  int threads() const { return threads_; }
+
+  /// Swap to a new thread count, reusing the already-converted format
+  /// (conversion dominates a thread-scaling sweep; Fig. 2).
+  void set_threads(int threads);
+
+  /// y = A·x through the current plan.
+  void run(const V* x, V* y) const;
+
+  /// Seconds per SpMV the way the paper measures it: repeated consecutive
+  /// operations on a random input vector, minimum over reps.
+  double measure(const MeasureOptions& opt = {}) const;
+
+ private:
+  SpmvEngine() = default;
+  void build_plan();
+
+  /// Type-erased threaded execution plan (one ThreadedSpmv<F> behind a
+  /// virtual run); absent when threads_ == 0.
+  struct Plan {
+    virtual ~Plan() = default;
+    virtual void run(const V* x, V* y, Impl impl) const = 0;
+  };
+  template <class F>
+  struct TypedPlan;
+
+  std::unique_ptr<PreparedExecutor<V>> owned_;  ///< null when borrowing
+  const AnyFormat<V>* fmt_ = nullptr;
+  std::unique_ptr<Plan> plan_;
+  int threads_ = 0;
+};
+
+extern template class SpmvEngine<float>;
+extern template class SpmvEngine<double>;
+
+}  // namespace bspmv

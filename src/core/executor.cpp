@@ -2,10 +2,10 @@
 
 #include <new>
 
-#include "src/formats/validate.hpp"
+#include "src/core/engine.hpp"
+#include "src/kernels/spmv.hpp"
 #include "src/observe/observe.hpp"
 #include "src/util/macros.hpp"
-#include "src/util/prng.hpp"
 
 namespace bspmv {
 
@@ -15,71 +15,45 @@ AnyFormat<V> AnyFormat<V>::convert(const Csr<V>& a, const Candidate& c) {
   BSPMV_OBS_SPAN(format_name(c.kind));
   AnyFormat f;
   f.c_ = c;
-  switch (c.kind) {
-    case FormatKind::kCsr: f.m_ = a; break;
-    case FormatKind::kBcsr: f.m_ = Bcsr<V>::from_csr(a, c.shape); break;
-    case FormatKind::kBcsrDec: f.m_ = BcsrDec<V>::from_csr(a, c.shape); break;
-    case FormatKind::kBcsd: f.m_ = Bcsd<V>::from_csr(a, c.b); break;
-    case FormatKind::kBcsdDec: f.m_ = BcsdDec<V>::from_csr(a, c.b); break;
-    case FormatKind::kVbl: f.m_ = Vbl<V>::from_csr(a); break;
-    case FormatKind::kVbr: f.m_ = Vbr<V>::from_csr(a); break;
-    case FormatKind::kUbcsr: f.m_ = Ubcsr<V>::from_csr(a, c.shape); break;
-    case FormatKind::kCsrDelta: f.m_ = CsrDelta<V>::from_csr(a); break;
-  }
+  // Register-driven dispatch: the one format whose FormatOps kind matches
+  // the candidate materialises into the variant.
+  for_each_format<V>([&](auto tag) {
+    using F = typename decltype(tag)::type;
+    if (FormatOps<F>::kKind == c.kind) f.m_ = FormatOps<F>::convert(a, c);
+  });
+  BSPMV_CHECK_MSG(!std::holds_alternative<std::monostate>(f.m_),
+                  "AnyFormat: format kind not in registry");
   return f;
 }
 
 template <class V>
 index_t AnyFormat<V>::rows() const {
-  return std::visit(
-      [](const auto& m) -> index_t {
-        if constexpr (std::is_same_v<std::decay_t<decltype(m)>,
-                                     std::monostate>) {
-          throw invalid_argument_error("AnyFormat: empty");
-        } else {
-          return m.rows();
-        }
-      },
-      m_);
+  return visit([](const auto& m) { return m.rows(); });
 }
 
 template <class V>
 index_t AnyFormat<V>::cols() const {
-  return std::visit(
-      [](const auto& m) -> index_t {
-        if constexpr (std::is_same_v<std::decay_t<decltype(m)>,
-                                     std::monostate>) {
-          throw invalid_argument_error("AnyFormat: empty");
-        } else {
-          return m.cols();
-        }
-      },
-      m_);
+  return visit([](const auto& m) { return m.cols(); });
 }
 
 template <class V>
 std::size_t AnyFormat<V>::working_set_bytes() const {
-  return std::visit(
-      [](const auto& m) -> std::size_t {
-        if constexpr (std::is_same_v<std::decay_t<decltype(m)>,
-                                     std::monostate>) {
-          throw invalid_argument_error("AnyFormat: empty");
-        } else {
-          return m.working_set_bytes();
-        }
-      },
-      m_);
+  return visit([](const auto& m) {
+    return FormatOps<std::decay_t<decltype(m)>>::working_set_bytes(m);
+  });
 }
 
 template <class V>
 void AnyFormat<V>::validate() const {
+  // Not via visit(): an empty AnyFormat is a validation failure here, not
+  // a usage error.
   std::visit(
       [](const auto& m) {
         if constexpr (std::is_same_v<std::decay_t<decltype(m)>,
                                      std::monostate>) {
           throw validation_error("AnyFormat: empty");
         } else {
-          bspmv::validate(m);
+          FormatOps<std::decay_t<decltype(m)>>::validate(m);
         }
       },
       m_);
@@ -88,16 +62,7 @@ void AnyFormat<V>::validate() const {
 template <class V>
 void AnyFormat<V>::run(const V* x, V* y) const {
   const Impl impl = c_.impl;
-  std::visit(
-      [&](const auto& m) {
-        if constexpr (std::is_same_v<std::decay_t<decltype(m)>,
-                                     std::monostate>) {
-          throw invalid_argument_error("AnyFormat: empty");
-        } else {
-          spmv(m, x, y, impl);
-        }
-      },
-      m_);
+  visit([&](const auto& m) { spmv(m, x, y, impl); });
 }
 
 template <class V>
@@ -146,28 +111,12 @@ PreparedExecutor<V> try_prepare(const Csr<V>& a,
   return out;
 }
 
-namespace {
-
-template <class V>
-aligned_vector<V> random_vector(std::size_t n, std::uint64_t seed) {
-  aligned_vector<V> v(n);
-  Xoshiro256 rng(seed);
-  for (auto& e : v) e = static_cast<V>(rng.uniform() - 0.5);
-  return v;
-}
-
-}  // namespace
+// The measurement loops live in SpmvEngine (prepare-once/run-many); these
+// helpers are the stable thin entry points over it.
 
 template <class V>
 double measure_spmv_seconds(const AnyFormat<V>& f, const MeasureOptions& opt) {
-  BSPMV_OBS_SPAN("measure");
-  BSPMV_OBS_SPAN("spmv");
-  const auto x = random_vector<V>(static_cast<std::size_t>(f.cols()), opt.seed);
-  aligned_vector<V> y(static_cast<std::size_t>(f.rows()), V{0});
-  const auto res = time_repeated([&] { f.run(x.data(), y.data()); },
-                                 opt.iterations, opt.reps, opt.warmup);
-  do_not_optimize(y.data());
-  return res.seconds_per_iter;
+  return SpmvEngine<V>::borrow(f).measure(opt);
 }
 
 template <class V>
@@ -177,8 +126,8 @@ std::vector<MeasuredCandidate> measure_candidates(
   std::vector<MeasuredCandidate> out;
   out.reserve(candidates.size());
   for (const Candidate& c : candidates) {
-    const AnyFormat<V> f = AnyFormat<V>::convert(a, c);
-    out.push_back(MeasuredCandidate{c, measure_spmv_seconds(f, opt)});
+    const auto engine = SpmvEngine<V>::prepare(a, c);
+    out.push_back(MeasuredCandidate{c, engine.measure(opt)});
   }
   return out;
 }
@@ -186,44 +135,10 @@ std::vector<MeasuredCandidate> measure_candidates(
 template <class V>
 double measure_threaded_seconds(const Csr<V>& a, const Candidate& c,
                                 int threads, const MeasureOptions& opt) {
-  BSPMV_OBS_SPAN("measure");
-  BSPMV_OBS_SPAN("threaded");
-  const auto x = random_vector<V>(static_cast<std::size_t>(a.cols()), opt.seed);
-  aligned_vector<V> y(static_cast<std::size_t>(a.rows()), V{0});
-  const V* xp = x.data();
-  V* yp = y.data();
-
-  auto time_fn = [&](const auto& runner) {
-    const auto res =
-        time_repeated([&] { runner.run(xp, yp, c.impl); }, opt.iterations,
-                      opt.reps, opt.warmup);
-    do_not_optimize(yp);
-    return res.seconds_per_iter;
-  };
-
-  switch (c.kind) {
-    case FormatKind::kCsr:
-      return time_fn(ThreadedCsrSpmv<V>(a, threads));
-    case FormatKind::kBcsr: {
-      const Bcsr<V> m = Bcsr<V>::from_csr(a, c.shape);
-      return time_fn(ThreadedBcsrSpmv<V>(m, threads));
-    }
-    case FormatKind::kBcsd: {
-      const Bcsd<V> m = Bcsd<V>::from_csr(a, c.b);
-      return time_fn(ThreadedBcsdSpmv<V>(m, threads));
-    }
-    case FormatKind::kBcsrDec: {
-      const BcsrDec<V> m = BcsrDec<V>::from_csr(a, c.shape);
-      return time_fn(ThreadedBcsrDecSpmv<V>(m, threads));
-    }
-    case FormatKind::kBcsdDec: {
-      const BcsdDec<V> m = BcsdDec<V>::from_csr(a, c.b);
-      return time_fn(ThreadedBcsdDecSpmv<V>(m, threads));
-    }
-    default:
-      throw invalid_argument_error(
-          "measure_threaded_seconds: format not parallelised (per §V-A)");
-  }
+  // threads == 0 means "plain single-threaded path" to the engine; this
+  // entry point is explicitly threaded, so keep rejecting it.
+  BSPMV_CHECK_MSG(threads >= 1, "thread count must be >= 1");
+  return SpmvEngine<V>::prepare(a, c, threads).measure(opt);
 }
 
 template <class V>
@@ -231,55 +146,19 @@ std::vector<double> measure_threaded_multi(const Csr<V>& a,
                                            const Candidate& c,
                                            const std::vector<int>& threads,
                                            const MeasureOptions& opt) {
-  BSPMV_OBS_SPAN("measure");
-  BSPMV_OBS_SPAN("threaded");
-  const auto x = random_vector<V>(static_cast<std::size_t>(a.cols()), opt.seed);
-  aligned_vector<V> y(static_cast<std::size_t>(a.rows()), V{0});
-  const V* xp = x.data();
-  V* yp = y.data();
-
-  auto time_all = [&](const auto& matrix, auto make_runner) {
-    std::vector<double> out;
-    out.reserve(threads.size());
-    for (int t : threads) {
-      const auto runner = make_runner(matrix, t);
-      const auto res =
-          time_repeated([&] { runner.run(xp, yp, c.impl); }, opt.iterations,
-                        opt.reps, opt.warmup);
-      out.push_back(res.seconds_per_iter);
-    }
-    do_not_optimize(yp);
-    return out;
-  };
-
-  switch (c.kind) {
-    case FormatKind::kCsr:
-      return time_all(a, [](const Csr<V>& m, int t) {
-        return ThreadedCsrSpmv<V>(m, t);
-      });
-    case FormatKind::kBcsr:
-      return time_all(Bcsr<V>::from_csr(a, c.shape),
-                      [](const Bcsr<V>& m, int t) {
-                        return ThreadedBcsrSpmv<V>(m, t);
-                      });
-    case FormatKind::kBcsd:
-      return time_all(Bcsd<V>::from_csr(a, c.b), [](const Bcsd<V>& m, int t) {
-        return ThreadedBcsdSpmv<V>(m, t);
-      });
-    case FormatKind::kBcsrDec:
-      return time_all(BcsrDec<V>::from_csr(a, c.shape),
-                      [](const BcsrDec<V>& m, int t) {
-                        return ThreadedBcsrDecSpmv<V>(m, t);
-                      });
-    case FormatKind::kBcsdDec:
-      return time_all(BcsdDec<V>::from_csr(a, c.b),
-                      [](const BcsdDec<V>& m, int t) {
-                        return ThreadedBcsdDecSpmv<V>(m, t);
-                      });
-    default:
-      throw invalid_argument_error(
-          "measure_threaded_multi: format not parallelised (per §V-A)");
+  // Convert once and re-plan per thread count (conversion dominates a
+  // sweep; Fig. 2 measures 1/2/4 cores). Building the first plan eagerly
+  // keeps the "format not parallelised" error even for an empty sweep.
+  for (int t : threads) BSPMV_CHECK_MSG(t >= 1, "thread count must be >= 1");
+  SpmvEngine<V> engine =
+      SpmvEngine<V>::prepare(a, c, threads.empty() ? 1 : threads.front());
+  std::vector<double> out;
+  out.reserve(threads.size());
+  for (int t : threads) {
+    engine.set_threads(t);
+    out.push_back(engine.measure(opt));
   }
+  return out;
 }
 
 #define BSPMV_INST(V)                                                       \

@@ -14,10 +14,12 @@
 
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <variant>
 #include <vector>
 
 #include "src/core/candidates.hpp"
+#include "src/formats/registry.hpp"
 #include "src/parallel/parallel_spmv.hpp"
 #include "src/util/timing.hpp"
 
@@ -42,11 +44,27 @@ class AnyFormat {
   /// y = A·x with the candidate's kernel implementation.
   void run(const V* x, V* y) const;
 
+  /// Visit the materialised format: fn is invoked with the concrete
+  /// format object (never monostate — an empty AnyFormat throws
+  /// invalid_argument_error) and its result is returned.
+  template <class Fn>
+  decltype(auto) visit(Fn&& fn) const {
+    using R = decltype(fn(std::get<Csr<V>>(m_)));
+    return std::visit(
+        [&](const auto& m) -> R {
+          if constexpr (std::is_same_v<std::decay_t<decltype(m)>,
+                                       std::monostate>) {
+            throw invalid_argument_error("AnyFormat: empty");
+          } else {
+            return fn(m);
+          }
+        },
+        m_);
+  }
+
  private:
   Candidate c_;
-  std::variant<std::monostate, Csr<V>, Bcsr<V>, Bcsd<V>, Vbl<V>, Vbr<V>,
-               BcsrDec<V>, BcsdDec<V>, Ubcsr<V>, CsrDelta<V>>
-      m_;
+  typename BuiltinFormats<V>::variant m_;
 };
 
 // ----------------------------------------------------------------------
@@ -88,9 +106,13 @@ PreparedExecutor<V> try_prepare(const Csr<V>& a,
                                 const std::vector<Candidate>& ranked);
 
 struct MeasureOptions {
-  int iterations = 20;  ///< SpMVs per timed batch (paper used 100)
-  int reps = 2;         ///< batches; the minimum is reported
-  int warmup = 1;       ///< unmeasured batches
+  /// SpMVs per timed batch. The paper ran 100 consecutive operations; the
+  /// default stays lower so test/bench sweeps finish quickly, and
+  /// mtx_tool exposes --iterations/--reps so the paper's setting is
+  /// reachable without recompiling.
+  int iterations = 20;
+  int reps = 2;               ///< batches; the minimum is reported
+  int warmup = 1;             ///< unmeasured batches
   std::uint64_t seed = 1234;  ///< input-vector RNG seed
 };
 

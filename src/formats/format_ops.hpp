@@ -1,0 +1,349 @@
+// FormatOps<Format>: the compile-time trait every storage format
+// specialises exactly once. It is the single place where a format's
+// identity (kind, name), conversion from CSR, structural validation,
+// working-set size, serial kernel dispatch and parallel-execution
+// protocol live; everything above this layer — the generic spmv()
+// front-end (src/kernels/spmv.hpp), the generic ThreadedSpmv driver
+// (src/parallel/parallel_spmv.hpp), AnyFormat's registry dispatch
+// (src/core/executor.*) — is format-agnostic and never needs to change
+// when a format is added. See docs/architecture.md for the
+// how-to-add-a-format checklist.
+//
+// Required members of a specialisation FormatOps<F> (value type V):
+//   using value_type = V;
+//   static constexpr FormatKind kKind;     // registry dispatch key
+//   static constexpr const char* kName;    // == format_name(kKind)
+//   static constexpr bool kParallel;       // has a threaded driver (§V-A)
+//   static constexpr int kPasses;          // 1, or 2 for decomposed formats
+//   static F convert(const Csr<V>&, const Candidate&);
+//   static void validate(const F&);        // throws validation_error
+//   static std::size_t working_set_bytes(const F&);
+//   static void spmv_add(const F&, const V* x, V* y, Impl);  // y += A·x
+// and, when kParallel (the §V-A protocol — each pass is split into
+// contiguous granule ranges of near-equal stored-value weight, and a
+// thread's pass-0 granules own a contiguous row range it zero-fills):
+//   static std::vector<std::size_t> pass_weights(const F&, int pass);
+//   static index_t pass_first_row(const F&, int pass, index_t g);
+//   static void pass_run(const F&, int pass, index_t g0, index_t g1,
+//                        const V* x, V* y, Impl);             // accumulates
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "src/core/candidates.hpp"
+#include "src/formats/bcsd.hpp"
+#include "src/formats/bcsr.hpp"
+#include "src/formats/csr.hpp"
+#include "src/formats/csr_delta.hpp"
+#include "src/formats/decomposed.hpp"
+#include "src/formats/ubcsr.hpp"
+#include "src/formats/vbl.hpp"
+#include "src/formats/vbr.hpp"
+#include "src/formats/validate.hpp"
+#include "src/kernels/bcsd_kernels.hpp"
+#include "src/kernels/bcsr_kernels.hpp"
+#include "src/kernels/csr_kernels.hpp"
+#include "src/kernels/ubcsr_kernels.hpp"
+#include "src/kernels/vbl_kernels.hpp"
+#include "src/kernels/vbr_kernels.hpp"
+
+namespace bspmv {
+
+/// Primary template is intentionally undefined: using a format without a
+/// FormatOps specialisation is a compile error at the point of use.
+template <class F>
+struct FormatOps;
+
+// ------------------------------------------------------------------ CSR ----
+
+template <class V>
+struct FormatOps<Csr<V>> {
+  using value_type = V;
+  static constexpr FormatKind kKind = FormatKind::kCsr;
+  static constexpr const char* kName = "csr";
+  static constexpr bool kParallel = true;
+  static constexpr int kPasses = 1;
+
+  static Csr<V> convert(const Csr<V>& a, const Candidate&) { return a; }
+  static void validate(const Csr<V>& m) { bspmv::validate(m); }
+  static std::size_t working_set_bytes(const Csr<V>& m) {
+    return m.working_set_bytes();
+  }
+  static void spmv_add(const Csr<V>& a, const V* x, V* y, Impl impl) {
+    pass_run(a, 0, 0, a.rows(), x, y, impl);
+  }
+
+  static std::vector<std::size_t> pass_weights(const Csr<V>& a, int) {
+    std::vector<std::size_t> w(static_cast<std::size_t>(a.rows()));
+    for (index_t i = 0; i < a.rows(); ++i)
+      w[static_cast<std::size_t>(i)] = static_cast<std::size_t>(a.row_nnz(i));
+    return w;
+  }
+  static index_t pass_first_row(const Csr<V>&, int, index_t g) { return g; }
+  static void pass_run(const Csr<V>& a, int, index_t g0, index_t g1,
+                       const V* x, V* y, Impl impl) {
+    if (impl == Impl::kSimd)
+      csr_spmv_simd(a, g0, g1, x, y);
+    else
+      csr_spmv_scalar(a, g0, g1, x, y);
+  }
+};
+
+// ----------------------------------------------------------------- BCSR ----
+
+template <class V>
+struct FormatOps<Bcsr<V>> {
+  using value_type = V;
+  static constexpr FormatKind kKind = FormatKind::kBcsr;
+  static constexpr const char* kName = "bcsr";
+  static constexpr bool kParallel = true;
+  static constexpr int kPasses = 1;
+
+  static Bcsr<V> convert(const Csr<V>& a, const Candidate& c) {
+    return Bcsr<V>::from_csr(a, c.shape);
+  }
+  static void validate(const Bcsr<V>& m) { bspmv::validate(m); }
+  static std::size_t working_set_bytes(const Bcsr<V>& m) {
+    return m.working_set_bytes();
+  }
+  static void spmv_add(const Bcsr<V>& a, const V* x, V* y, Impl impl) {
+    pass_run(a, 0, 0, a.block_rows(), x, y, impl);
+  }
+
+  /// Per-block-row stored values including padding (blocks · r · c).
+  static std::vector<std::size_t> pass_weights(const Bcsr<V>& a, int) {
+    const auto& brow_ptr = a.brow_ptr();
+    const std::size_t elems = static_cast<std::size_t>(a.shape().elems());
+    std::vector<std::size_t> w(static_cast<std::size_t>(a.block_rows()));
+    for (std::size_t br = 0; br < w.size(); ++br)
+      w[br] = static_cast<std::size_t>(brow_ptr[br + 1] - brow_ptr[br]) * elems;
+    return w;
+  }
+  static index_t pass_first_row(const Bcsr<V>& a, int, index_t g) {
+    return std::min(a.rows(), g * a.shape().r);
+  }
+  static void pass_run(const Bcsr<V>& a, int, index_t g0, index_t g1,
+                       const V* x, V* y, Impl impl) {
+    bcsr_kernel<V>(a.shape(), impl == Impl::kSimd)(a, g0, g1, x, y);
+  }
+};
+
+// ----------------------------------------------------------------- BCSD ----
+
+template <class V>
+struct FormatOps<Bcsd<V>> {
+  using value_type = V;
+  static constexpr FormatKind kKind = FormatKind::kBcsd;
+  static constexpr const char* kName = "bcsd";
+  static constexpr bool kParallel = true;
+  static constexpr int kPasses = 1;
+
+  static Bcsd<V> convert(const Csr<V>& a, const Candidate& c) {
+    return Bcsd<V>::from_csr(a, c.b);
+  }
+  static void validate(const Bcsd<V>& m) { bspmv::validate(m); }
+  static std::size_t working_set_bytes(const Bcsd<V>& m) {
+    return m.working_set_bytes();
+  }
+  static void spmv_add(const Bcsd<V>& a, const V* x, V* y, Impl impl) {
+    pass_run(a, 0, 0, a.segments(), x, y, impl);
+  }
+
+  /// Per-segment stored values including padding (diagonals · b).
+  static std::vector<std::size_t> pass_weights(const Bcsd<V>& a, int) {
+    const auto& brow_ptr = a.brow_ptr();
+    const std::size_t b = static_cast<std::size_t>(a.b());
+    std::vector<std::size_t> w(static_cast<std::size_t>(a.segments()));
+    for (std::size_t s = 0; s < w.size(); ++s)
+      w[s] = static_cast<std::size_t>(brow_ptr[s + 1] - brow_ptr[s]) * b;
+    return w;
+  }
+  static index_t pass_first_row(const Bcsd<V>& a, int, index_t g) {
+    return std::min(a.rows(), g * a.b());
+  }
+  static void pass_run(const Bcsd<V>& a, int, index_t g0, index_t g1,
+                       const V* x, V* y, Impl impl) {
+    bcsd_kernel<V>(a.b(), impl == Impl::kSimd)(a, g0, g1, x, y);
+  }
+};
+
+// --------------------------------------------------------------- 1D-VBL ----
+
+template <class V>
+struct FormatOps<Vbl<V>> {
+  using value_type = V;
+  static constexpr FormatKind kKind = FormatKind::kVbl;
+  static constexpr const char* kName = "vbl";
+  // The paper found 1D-VBL uncompetitive and did not parallelise it (§V-A).
+  static constexpr bool kParallel = false;
+  static constexpr int kPasses = 1;
+
+  static Vbl<V> convert(const Csr<V>& a, const Candidate&) {
+    return Vbl<V>::from_csr(a);
+  }
+  static void validate(const Vbl<V>& m) { bspmv::validate(m); }
+  static std::size_t working_set_bytes(const Vbl<V>& m) {
+    return m.working_set_bytes();
+  }
+  static void spmv_add(const Vbl<V>& a, const V* x, V* y, Impl impl) {
+    if (impl == Impl::kSimd)
+      vbl_spmv_simd(a, x, y);
+    else
+      vbl_spmv_scalar(a, x, y);
+  }
+};
+
+// ------------------------------------------------------------------ VBR ----
+
+template <class V>
+struct FormatOps<Vbr<V>> {
+  using value_type = V;
+  static constexpr FormatKind kKind = FormatKind::kVbr;
+  static constexpr const char* kName = "vbr";
+  static constexpr bool kParallel = false;
+  static constexpr int kPasses = 1;
+
+  static Vbr<V> convert(const Csr<V>& a, const Candidate&) {
+    return Vbr<V>::from_csr(a);
+  }
+  static void validate(const Vbr<V>& m) { bspmv::validate(m); }
+  static std::size_t working_set_bytes(const Vbr<V>& m) {
+    return m.working_set_bytes();
+  }
+  static void spmv_add(const Vbr<V>& a, const V* x, V* y, Impl impl) {
+    if (impl == Impl::kSimd)
+      vbr_spmv_simd(a, x, y);
+    else
+      vbr_spmv_scalar(a, x, y);
+  }
+};
+
+// ------------------------------------------------------------- BCSR-DEC ----
+
+template <class V>
+struct FormatOps<BcsrDec<V>> {
+  using value_type = V;
+  static constexpr FormatKind kKind = FormatKind::kBcsrDec;
+  static constexpr const char* kName = "bcsr_dec";
+  static constexpr bool kParallel = true;
+  /// Pass 0 is the blocked submatrix (zeroes y), pass 1 the CSR remainder.
+  static constexpr int kPasses = 2;
+
+  static BcsrDec<V> convert(const Csr<V>& a, const Candidate& c) {
+    return BcsrDec<V>::from_csr(a, c.shape);
+  }
+  static void validate(const BcsrDec<V>& m) { bspmv::validate(m); }
+  static std::size_t working_set_bytes(const BcsrDec<V>& m) {
+    return m.working_set_bytes();
+  }
+  static void spmv_add(const BcsrDec<V>& a, const V* x, V* y, Impl impl) {
+    FormatOps<Bcsr<V>>::spmv_add(a.blocked(), x, y, impl);
+    FormatOps<Csr<V>>::spmv_add(a.remainder(), x, y, impl);
+  }
+
+  static std::vector<std::size_t> pass_weights(const BcsrDec<V>& a, int pass) {
+    return pass == 0 ? FormatOps<Bcsr<V>>::pass_weights(a.blocked(), 0)
+                     : FormatOps<Csr<V>>::pass_weights(a.remainder(), 0);
+  }
+  static index_t pass_first_row(const BcsrDec<V>& a, int pass, index_t g) {
+    return pass == 0 ? FormatOps<Bcsr<V>>::pass_first_row(a.blocked(), 0, g)
+                     : g;
+  }
+  static void pass_run(const BcsrDec<V>& a, int pass, index_t g0, index_t g1,
+                       const V* x, V* y, Impl impl) {
+    if (pass == 0)
+      FormatOps<Bcsr<V>>::pass_run(a.blocked(), 0, g0, g1, x, y, impl);
+    else
+      FormatOps<Csr<V>>::pass_run(a.remainder(), 0, g0, g1, x, y, impl);
+  }
+};
+
+// ------------------------------------------------------------- BCSD-DEC ----
+
+template <class V>
+struct FormatOps<BcsdDec<V>> {
+  using value_type = V;
+  static constexpr FormatKind kKind = FormatKind::kBcsdDec;
+  static constexpr const char* kName = "bcsd_dec";
+  static constexpr bool kParallel = true;
+  static constexpr int kPasses = 2;
+
+  static BcsdDec<V> convert(const Csr<V>& a, const Candidate& c) {
+    return BcsdDec<V>::from_csr(a, c.b);
+  }
+  static void validate(const BcsdDec<V>& m) { bspmv::validate(m); }
+  static std::size_t working_set_bytes(const BcsdDec<V>& m) {
+    return m.working_set_bytes();
+  }
+  static void spmv_add(const BcsdDec<V>& a, const V* x, V* y, Impl impl) {
+    FormatOps<Bcsd<V>>::spmv_add(a.blocked(), x, y, impl);
+    FormatOps<Csr<V>>::spmv_add(a.remainder(), x, y, impl);
+  }
+
+  static std::vector<std::size_t> pass_weights(const BcsdDec<V>& a, int pass) {
+    return pass == 0 ? FormatOps<Bcsd<V>>::pass_weights(a.blocked(), 0)
+                     : FormatOps<Csr<V>>::pass_weights(a.remainder(), 0);
+  }
+  static index_t pass_first_row(const BcsdDec<V>& a, int pass, index_t g) {
+    return pass == 0 ? FormatOps<Bcsd<V>>::pass_first_row(a.blocked(), 0, g)
+                     : g;
+  }
+  static void pass_run(const BcsdDec<V>& a, int pass, index_t g0, index_t g1,
+                       const V* x, V* y, Impl impl) {
+    if (pass == 0)
+      FormatOps<Bcsd<V>>::pass_run(a.blocked(), 0, g0, g1, x, y, impl);
+    else
+      FormatOps<Csr<V>>::pass_run(a.remainder(), 0, g0, g1, x, y, impl);
+  }
+};
+
+// ---------------------------------------------------------------- UBCSR ----
+
+template <class V>
+struct FormatOps<Ubcsr<V>> {
+  using value_type = V;
+  static constexpr FormatKind kKind = FormatKind::kUbcsr;
+  static constexpr const char* kName = "ubcsr";
+  static constexpr bool kParallel = false;
+  static constexpr int kPasses = 1;
+
+  static Ubcsr<V> convert(const Csr<V>& a, const Candidate& c) {
+    return Ubcsr<V>::from_csr(a, c.shape);
+  }
+  static void validate(const Ubcsr<V>& m) { bspmv::validate(m); }
+  static std::size_t working_set_bytes(const Ubcsr<V>& m) {
+    return m.working_set_bytes();
+  }
+  static void spmv_add(const Ubcsr<V>& a, const V* x, V* y, Impl impl) {
+    ubcsr_kernel<V>(a.shape(), impl == Impl::kSimd)(a, 0, a.block_rows(), x,
+                                                    y);
+  }
+};
+
+// ------------------------------------------------------------ CSR-DELTA ----
+
+template <class V>
+struct FormatOps<CsrDelta<V>> {
+  using value_type = V;
+  static constexpr FormatKind kKind = FormatKind::kCsrDelta;
+  static constexpr const char* kName = "csr_delta";
+  static constexpr bool kParallel = false;
+  static constexpr int kPasses = 1;
+
+  static CsrDelta<V> convert(const Csr<V>& a, const Candidate&) {
+    return CsrDelta<V>::from_csr(a);
+  }
+  static void validate(const CsrDelta<V>& m) { bspmv::validate(m); }
+  static std::size_t working_set_bytes(const CsrDelta<V>& m) {
+    return m.working_set_bytes();
+  }
+  /// The delta-decode loop is inherently serial; the impl flag is accepted
+  /// for API symmetry and ignored.
+  static void spmv_add(const CsrDelta<V>& a, const V* x, V* y, Impl) {
+    csr_delta_spmv(a, x, y);
+  }
+};
+
+}  // namespace bspmv

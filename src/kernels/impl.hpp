@@ -1,0 +1,18 @@
+// Kernel implementation flavour, shared by every format's kernels.
+//
+// Lives in its own header (rather than spmv.hpp) so low-level headers —
+// the candidate space, the FormatOps trait — can name an Impl without
+// pulling in the whole SpMV front-end.
+#pragma once
+
+namespace bspmv {
+
+/// Kernel implementation flavour — §V evaluates both for every fixed-size
+/// blocking method ("we also implemented vectorized versions").
+enum class Impl { kScalar, kSimd };
+
+inline const char* impl_name(Impl impl) {
+  return impl == Impl::kScalar ? "scalar" : "simd";
+}
+
+}  // namespace bspmv

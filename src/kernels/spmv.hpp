@@ -4,88 +4,30 @@
 // `spmv_add(A, x, y, impl)` accumulates y += A·x, which is what the
 // decomposed formats chain internally. `x` must have A.cols() elements
 // and `y` A.rows() elements.
+//
+// Both are a single generic template dispatching through FormatOps
+// (src/formats/format_ops.hpp), so any format with a FormatOps
+// specialisation — including ones registered outside the library — gets
+// the full spmv/spmv_add API for free.
 #pragma once
 
 #include <algorithm>
-#include <string>
-#include <type_traits>
 
-#include "src/formats/bcsd.hpp"
-#include "src/formats/bcsr.hpp"
-#include "src/formats/csr.hpp"
-#include "src/formats/csr_delta.hpp"
-#include "src/formats/decomposed.hpp"
-#include "src/formats/ubcsr.hpp"
-#include "src/formats/vbl.hpp"
-#include "src/formats/vbr.hpp"
+#include "src/formats/format_ops.hpp"
 
 namespace bspmv {
 
-/// Kernel implementation flavour — §V evaluates both for every fixed-size
-/// blocking method ("we also implemented vectorized versions").
-enum class Impl { kScalar, kSimd };
-
-inline const char* impl_name(Impl impl) {
-  return impl == Impl::kScalar ? "scalar" : "simd";
+/// y += A·x for any format with a FormatOps specialisation.
+template <class Format, class V = typename FormatOps<Format>::value_type>
+void spmv_add(const Format& a, const V* x, V* y, Impl impl = Impl::kScalar) {
+  FormatOps<Format>::spmv_add(a, x, y, impl);
 }
 
-template <class V>
-void spmv_add(const Csr<V>& a, const V* x, V* y, Impl impl = Impl::kScalar);
-template <class V>
-void spmv_add(const Bcsr<V>& a, const V* x, V* y, Impl impl = Impl::kScalar);
-template <class V>
-void spmv_add(const Bcsd<V>& a, const V* x, V* y, Impl impl = Impl::kScalar);
-template <class V>
-void spmv_add(const Vbl<V>& a, const V* x, V* y, Impl impl = Impl::kScalar);
-template <class V>
-void spmv_add(const Vbr<V>& a, const V* x, V* y, Impl impl = Impl::kScalar);
-template <class V>
-void spmv_add(const BcsrDec<V>& a, const V* x, V* y,
-              Impl impl = Impl::kScalar);
-template <class V>
-void spmv_add(const BcsdDec<V>& a, const V* x, V* y,
-              Impl impl = Impl::kScalar);
-template <class V>
-void spmv_add(const Ubcsr<V>& a, const V* x, V* y, Impl impl = Impl::kScalar);
-/// CsrDelta decodes serially; the impl flag is accepted for API symmetry
-/// and ignored.
-template <class V>
-void spmv_add(const CsrDelta<V>& a, const V* x, V* y,
-              Impl impl = Impl::kScalar);
-
-/// y = A·x for any supported format.
-template <class Format, class V = typename std::decay_t<
-                            decltype(std::declval<Format>().val())>::value_type>
+/// y = A·x for any format with a FormatOps specialisation.
+template <class Format, class V = typename FormatOps<Format>::value_type>
 void spmv(const Format& a, const V* x, V* y, Impl impl = Impl::kScalar) {
   std::fill(y, y + a.rows(), V{0});
-  spmv_add(a, x, y, impl);
-}
-
-/// Overload for block formats whose value array is named bval().
-template <class V>
-void spmv(const Bcsr<V>& a, const V* x, V* y, Impl impl = Impl::kScalar) {
-  std::fill(y, y + a.rows(), V{0});
-  spmv_add(a, x, y, impl);
-}
-template <class V>
-void spmv(const Bcsd<V>& a, const V* x, V* y, Impl impl = Impl::kScalar) {
-  std::fill(y, y + a.rows(), V{0});
-  spmv_add(a, x, y, impl);
-}
-template <class V>
-void spmv(const BcsrDec<V>& a, const V* x, V* y, Impl impl = Impl::kScalar) {
-  std::fill(y, y + a.rows(), V{0});
-  spmv_add(a, x, y, impl);
-}
-template <class V>
-void spmv(const BcsdDec<V>& a, const V* x, V* y, Impl impl = Impl::kScalar) {
-  std::fill(y, y + a.rows(), V{0});
-  spmv_add(a, x, y, impl);
-}
-template <class V>
-void spmv(const Ubcsr<V>& a, const V* x, V* y, Impl impl = Impl::kScalar) {
-  std::fill(y, y + a.rows(), V{0});
-  spmv_add(a, x, y, impl);
+  FormatOps<Format>::spmv_add(a, x, y, impl);
 }
 
 }  // namespace bspmv

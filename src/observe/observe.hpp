@@ -10,8 +10,8 @@
 //   select                 select_and_prepare()     src/core/selector.cpp
 //   prepare[/convert/<fmt>] try_prepare/try_convert src/core/executor.cpp
 //   convert/<fmt>          AnyFormat::convert()     src/core/executor.cpp
-//   measure/spmv|threaded  measure_* helpers        src/core/executor.cpp
-//   parallel/<fmt>         per-thread kernel time   src/parallel/parallel_spmv.cpp
+//   measure/spmv|threaded  SpmvEngine::measure()    src/core/engine.cpp
+//   parallel/<fmt>         per-thread kernel time   src/parallel/parallel_spmv.hpp
 // Counter semantics are specified in docs/observability.md.
 #pragma once
 

@@ -1,197 +1,21 @@
+// Explicit instantiations of the generic threaded driver for the formats
+// the paper parallelises (§V-A). The template itself lives in the header
+// so out-of-library formats can instantiate it as well.
 #include "src/parallel/parallel_spmv.hpp"
-
-#include <omp.h>
-
-#include <algorithm>
-
-#include "src/kernels/bcsd_kernels.hpp"
-#include "src/kernels/bcsr_kernels.hpp"
-#include "src/kernels/csr_kernels.hpp"
-#include "src/observe/observe.hpp"
-#include "src/util/macros.hpp"
 
 namespace bspmv {
 
-namespace {
-int checked_threads(int threads) {
-  BSPMV_CHECK_MSG(threads >= 1, "thread count must be >= 1");
-  return threads;
-}
-}  // namespace
-
-// ---------------------------------------------------------------- CSR ----
-
-template <class V>
-ThreadedCsrSpmv<V>::ThreadedCsrSpmv(const Csr<V>& a, int threads)
-    : a_(&a), threads_(checked_threads(threads)) {
-  const auto w = row_weights(a);
-  bounds_ = balanced_partition(w, threads_);
-  part_weights_ = part_weight_sums(w, bounds_);
-}
-
-template <class V>
-void ThreadedCsrSpmv<V>::run(const V* x, V* y, Impl impl) const {
-#pragma omp parallel num_threads(threads_)
-  {
-    const int tid = omp_get_thread_num();
-    BSPMV_OBS_THREAD_TIMER(obs_timer);
-    const index_t r0 = bounds_[static_cast<std::size_t>(tid)];
-    const index_t r1 = bounds_[static_cast<std::size_t>(tid) + 1];
-    std::fill(y + r0, y + r1, V{0});
-    if (impl == Impl::kSimd)
-      csr_spmv_simd(*a_, r0, r1, x, y);
-    else
-      csr_spmv_scalar(*a_, r0, r1, x, y);
-    BSPMV_OBS_THREAD_RECORD("parallel/csr", tid, obs_timer,
-                            part_weights_[static_cast<std::size_t>(tid)]);
-  }
-}
-
-// --------------------------------------------------------------- BCSR ----
-
-template <class V>
-ThreadedBcsrSpmv<V>::ThreadedBcsrSpmv(const Bcsr<V>& a, int threads)
-    : a_(&a), threads_(checked_threads(threads)) {
-  const auto w = block_row_weights(a);
-  bounds_ = balanced_partition(w, threads_);
-  part_weights_ = part_weight_sums(w, bounds_);
-}
-
-template <class V>
-void ThreadedBcsrSpmv<V>::run(const V* x, V* y, Impl impl) const {
-  const auto fn = bcsr_kernel<V>(a_->shape(), impl == Impl::kSimd);
-  const index_t r = a_->shape().r;
-  const index_t n = a_->rows();
-#pragma omp parallel num_threads(threads_)
-  {
-    const int tid = omp_get_thread_num();
-    BSPMV_OBS_THREAD_TIMER(obs_timer);
-    const index_t br0 = bounds_[static_cast<std::size_t>(tid)];
-    const index_t br1 = bounds_[static_cast<std::size_t>(tid) + 1];
-    std::fill(y + std::min(n, br0 * r), y + std::min(n, br1 * r), V{0});
-    fn(*a_, br0, br1, x, y);
-    BSPMV_OBS_THREAD_RECORD("parallel/bcsr", tid, obs_timer,
-                            part_weights_[static_cast<std::size_t>(tid)]);
-  }
-}
-
-// --------------------------------------------------------------- BCSD ----
-
-template <class V>
-ThreadedBcsdSpmv<V>::ThreadedBcsdSpmv(const Bcsd<V>& a, int threads)
-    : a_(&a), threads_(checked_threads(threads)) {
-  const auto w = segment_weights(a);
-  bounds_ = balanced_partition(w, threads_);
-  part_weights_ = part_weight_sums(w, bounds_);
-}
-
-template <class V>
-void ThreadedBcsdSpmv<V>::run(const V* x, V* y, Impl impl) const {
-  const auto fn = bcsd_kernel<V>(a_->b(), impl == Impl::kSimd);
-  const index_t b = a_->b();
-  const index_t n = a_->rows();
-#pragma omp parallel num_threads(threads_)
-  {
-    const int tid = omp_get_thread_num();
-    BSPMV_OBS_THREAD_TIMER(obs_timer);
-    const index_t s0 = bounds_[static_cast<std::size_t>(tid)];
-    const index_t s1 = bounds_[static_cast<std::size_t>(tid) + 1];
-    std::fill(y + std::min(n, s0 * b), y + std::min(n, s1 * b), V{0});
-    fn(*a_, s0, s1, x, y);
-    BSPMV_OBS_THREAD_RECORD("parallel/bcsd", tid, obs_timer,
-                            part_weights_[static_cast<std::size_t>(tid)]);
-  }
-}
-
-// ----------------------------------------------------------- BCSR-DEC ----
-
-template <class V>
-ThreadedBcsrDecSpmv<V>::ThreadedBcsrDecSpmv(const BcsrDec<V>& a, int threads)
-    : a_(&a), threads_(checked_threads(threads)) {
-  const auto bw = block_row_weights(a.blocked());
-  const auto rw = row_weights(a.remainder());
-  blocked_bounds_ = balanced_partition(bw, threads_);
-  rem_bounds_ = balanced_partition(rw, threads_);
-  part_weights_ = part_weight_sums(bw, blocked_bounds_);
-  const auto rem_sums = part_weight_sums(rw, rem_bounds_);
-  for (std::size_t p = 0; p < part_weights_.size(); ++p)
-    part_weights_[p] += rem_sums[p];
-}
-
-template <class V>
-void ThreadedBcsrDecSpmv<V>::run(const V* x, V* y, Impl impl) const {
-  const auto fn = bcsr_kernel<V>(a_->blocked().shape(), impl == Impl::kSimd);
-  const index_t r = a_->blocked().shape().r;
-  const index_t n = a_->rows();
-#pragma omp parallel num_threads(threads_)
-  {
-    const int tid = omp_get_thread_num();
-    BSPMV_OBS_THREAD_TIMER(obs_timer);
-    // Pass 1: blocked submatrix (also zeroes this thread's y rows).
-    const index_t br0 = blocked_bounds_[static_cast<std::size_t>(tid)];
-    const index_t br1 = blocked_bounds_[static_cast<std::size_t>(tid) + 1];
-    std::fill(y + std::min(n, br0 * r), y + std::min(n, br1 * r), V{0});
-    fn(a_->blocked(), br0, br1, x, y);
-    // The remainder pass uses a different row partition, so wait until all
-    // blocked contributions have landed before accumulating into y.
-#pragma omp barrier
-    const index_t r0 = rem_bounds_[static_cast<std::size_t>(tid)];
-    const index_t r1 = rem_bounds_[static_cast<std::size_t>(tid) + 1];
-    if (impl == Impl::kSimd)
-      csr_spmv_simd(a_->remainder(), r0, r1, x, y);
-    else
-      csr_spmv_scalar(a_->remainder(), r0, r1, x, y);
-    BSPMV_OBS_THREAD_RECORD("parallel/bcsr_dec", tid, obs_timer,
-                            part_weights_[static_cast<std::size_t>(tid)]);
-  }
-}
-
-// ----------------------------------------------------------- BCSD-DEC ----
-
-template <class V>
-ThreadedBcsdDecSpmv<V>::ThreadedBcsdDecSpmv(const BcsdDec<V>& a, int threads)
-    : a_(&a), threads_(checked_threads(threads)) {
-  const auto bw = segment_weights(a.blocked());
-  const auto rw = row_weights(a.remainder());
-  blocked_bounds_ = balanced_partition(bw, threads_);
-  rem_bounds_ = balanced_partition(rw, threads_);
-  part_weights_ = part_weight_sums(bw, blocked_bounds_);
-  const auto rem_sums = part_weight_sums(rw, rem_bounds_);
-  for (std::size_t p = 0; p < part_weights_.size(); ++p)
-    part_weights_[p] += rem_sums[p];
-}
-
-template <class V>
-void ThreadedBcsdDecSpmv<V>::run(const V* x, V* y, Impl impl) const {
-  const auto fn = bcsd_kernel<V>(a_->blocked().b(), impl == Impl::kSimd);
-  const index_t b = a_->blocked().b();
-  const index_t n = a_->rows();
-#pragma omp parallel num_threads(threads_)
-  {
-    const int tid = omp_get_thread_num();
-    BSPMV_OBS_THREAD_TIMER(obs_timer);
-    const index_t s0 = blocked_bounds_[static_cast<std::size_t>(tid)];
-    const index_t s1 = blocked_bounds_[static_cast<std::size_t>(tid) + 1];
-    std::fill(y + std::min(n, s0 * b), y + std::min(n, s1 * b), V{0});
-    fn(a_->blocked(), s0, s1, x, y);
-#pragma omp barrier
-    const index_t r0 = rem_bounds_[static_cast<std::size_t>(tid)];
-    const index_t r1 = rem_bounds_[static_cast<std::size_t>(tid) + 1];
-    if (impl == Impl::kSimd)
-      csr_spmv_simd(a_->remainder(), r0, r1, x, y);
-    else
-      csr_spmv_scalar(a_->remainder(), r0, r1, x, y);
-    BSPMV_OBS_THREAD_RECORD("parallel/bcsd_dec", tid, obs_timer,
-                            part_weights_[static_cast<std::size_t>(tid)]);
-  }
-}
-
-#define BSPMV_INST(V)                    \
-  template class ThreadedCsrSpmv<V>;     \
-  template class ThreadedBcsrSpmv<V>;    \
-  template class ThreadedBcsdSpmv<V>;    \
-  template class ThreadedBcsrDecSpmv<V>; \
-  template class ThreadedBcsdDecSpmv<V>;
+#define BSPMV_INST(V)     \
+  template class          \
+      ThreadedSpmv<Csr<V>>; \
+  template class          \
+      ThreadedSpmv<Bcsr<V>>; \
+  template class          \
+      ThreadedSpmv<Bcsd<V>>; \
+  template class          \
+      ThreadedSpmv<BcsrDec<V>>; \
+  template class          \
+      ThreadedSpmv<BcsdDec<V>>;
 BSPMV_INST(float)
 BSPMV_INST(double)
 #undef BSPMV_INST

@@ -1,105 +1,121 @@
-// Multithreaded SpMV drivers (OpenMP) for the formats the paper
-// parallelises: CSR, BCSR, BCSD and the two decomposed variants (1D-VBL
-// is deliberately excluded, matching §V-A).
+// Multithreaded SpMV driver (OpenMP), generic over every format whose
+// FormatOps specialisation opts in with kParallel — for the library that
+// is CSR, BCSR, BCSD and the two decomposed variants, matching §V-A
+// (1D-VBL is deliberately excluded).
 //
-// A ThreadedSpmv<Format> precomputes the nnz-balanced (padding-aware)
-// row-granule partition once; run() then executes y = A·x with each thread
-// owning a disjoint row range, so no synchronisation is needed beyond the
-// implicit barrier between the decomposed formats' two passes.
+// ThreadedSpmv<Format> precomputes one nnz-balanced (padding-aware)
+// granule partition per pass (FormatOps<Format>::kPasses; decomposed
+// formats run their blocked submatrix as pass 0 and the CSR remainder as
+// pass 1). run() then executes y = A·x with each thread owning a disjoint
+// granule range per pass; pass 0 also zero-fills the thread's contiguous
+// row range, and consecutive passes are separated by a barrier because
+// they partition rows differently.
 //
 // Observability: when built with BSPMV_OBSERVE (src/observe/observe.hpp),
 // every run() records each thread's kernel wall time and assigned stored
-// values (the §V-A partition weights, padding included) under the
-// "parallel/<format>" metric — the per-thread load-imbalance telemetry a
-// RunReport exposes.
+// values (the §V-A partition weights, padding included, summed over all
+// passes) under the "parallel/<format>" metric — the per-thread
+// load-imbalance telemetry a RunReport exposes.
+//
+// The template is defined here (not in the .cpp) so formats registered
+// outside the library instantiate it too; the five built-in parallel
+// formats have extern template declarations below and are compiled once
+// in parallel_spmv.cpp.
 #pragma once
 
+#include <omp.h>
+
+#include <algorithm>
+#include <string>
 #include <vector>
 
-#include "src/formats/decomposed.hpp"
-#include "src/kernels/spmv.hpp"
+#include "src/formats/format_ops.hpp"
+#include "src/observe/observe.hpp"
 #include "src/parallel/partition.hpp"
+#include "src/util/macros.hpp"
 
 namespace bspmv {
 
-template <class V>
-class ThreadedCsrSpmv {
+template <class Format>
+class ThreadedSpmv {
+  using Ops = FormatOps<Format>;
+  using V = typename Ops::value_type;
+  static_assert(Ops::kParallel,
+                "ThreadedSpmv requires FormatOps<Format>::kParallel — the "
+                "paper parallelises only CSR/BCSR/BCSD and the decomposed "
+                "variants (§V-A)");
+
  public:
-  ThreadedCsrSpmv(const Csr<V>& a, int threads);
+  ThreadedSpmv(const Format& a, int threads);
   void run(const V* x, V* y, Impl impl = Impl::kScalar) const;
   int threads() const { return threads_; }
 
  private:
-  const Csr<V>* a_;
+  const Format* a_;
   int threads_;
-  std::vector<index_t> bounds_;  // row boundaries, threads_+1
-  std::vector<std::size_t> part_weights_;  // stored values per thread
+  /// Granule boundaries per pass, threads_+1 each.
+  std::vector<index_t> bounds_[static_cast<std::size_t>(Ops::kPasses)];
+  /// Stored values per thread, summed over all passes.
+  std::vector<std::size_t> part_weights_;
 };
 
-template <class V>
-class ThreadedBcsrSpmv {
- public:
-  ThreadedBcsrSpmv(const Bcsr<V>& a, int threads);
-  void run(const V* x, V* y, Impl impl = Impl::kScalar) const;
-  int threads() const { return threads_; }
+template <class Format>
+ThreadedSpmv<Format>::ThreadedSpmv(const Format& a, int threads)
+    : a_(&a), threads_(threads) {
+  BSPMV_CHECK_MSG(threads >= 1, "thread count must be >= 1");
+  for (int pass = 0; pass < Ops::kPasses; ++pass) {
+    const auto w = Ops::pass_weights(a, pass);
+    auto& bounds = bounds_[static_cast<std::size_t>(pass)];
+    bounds = balanced_partition(w, threads_);
+    const auto sums = part_weight_sums(w, bounds);
+    if (pass == 0) {
+      part_weights_ = sums;
+    } else {
+      for (std::size_t p = 0; p < part_weights_.size(); ++p)
+        part_weights_[p] += sums[p];
+    }
+  }
+}
 
- private:
-  const Bcsr<V>* a_;
-  int threads_;
-  std::vector<index_t> bounds_;  // block-row boundaries
-  std::vector<std::size_t> part_weights_;  // stored values per thread
-};
+template <class Format>
+void ThreadedSpmv<Format>::run(const V* x, V* y, Impl impl) const {
+#pragma omp parallel num_threads(threads_)
+  {
+    const int tid = omp_get_thread_num();
+    BSPMV_OBS_THREAD_TIMER(obs_timer);
+    for (int pass = 0; pass < Ops::kPasses; ++pass) {
+      if (pass > 0) {
+        // Later passes partition rows differently, so wait until every
+        // earlier-pass contribution has landed before accumulating.
+#pragma omp barrier
+      }
+      const auto& bounds = bounds_[static_cast<std::size_t>(pass)];
+      const index_t g0 = bounds[static_cast<std::size_t>(tid)];
+      const index_t g1 = bounds[static_cast<std::size_t>(tid) + 1];
+      if (pass == 0)
+        std::fill(y + Ops::pass_first_row(*a_, 0, g0),
+                  y + Ops::pass_first_row(*a_, 0, g1), V{0});
+      Ops::pass_run(*a_, pass, g0, g1, x, y, impl);
+    }
+#if defined(BSPMV_OBSERVE_HOOKS) && BSPMV_OBSERVE_HOOKS
+    static const std::string metric = std::string("parallel/") + Ops::kName;
+    BSPMV_OBS_THREAD_RECORD(metric.c_str(), tid, obs_timer,
+                            part_weights_[static_cast<std::size_t>(tid)]);
+#endif
+  }
+}
 
-template <class V>
-class ThreadedBcsdSpmv {
- public:
-  ThreadedBcsdSpmv(const Bcsd<V>& a, int threads);
-  void run(const V* x, V* y, Impl impl = Impl::kScalar) const;
-  int threads() const { return threads_; }
-
- private:
-  const Bcsd<V>* a_;
-  int threads_;
-  std::vector<index_t> bounds_;  // segment boundaries
-  std::vector<std::size_t> part_weights_;  // stored values per thread
-};
-
-template <class V>
-class ThreadedBcsrDecSpmv {
- public:
-  ThreadedBcsrDecSpmv(const BcsrDec<V>& a, int threads);
-  void run(const V* x, V* y, Impl impl = Impl::kScalar) const;
-  int threads() const { return threads_; }
-
- private:
-  const BcsrDec<V>* a_;
-  int threads_;
-  std::vector<index_t> blocked_bounds_;  // block rows of the blocked part
-  std::vector<index_t> rem_bounds_;      // rows of the CSR remainder
-  std::vector<std::size_t> part_weights_;  // stored values per thread (both passes)
-};
-
-template <class V>
-class ThreadedBcsdDecSpmv {
- public:
-  ThreadedBcsdDecSpmv(const BcsdDec<V>& a, int threads);
-  void run(const V* x, V* y, Impl impl = Impl::kScalar) const;
-  int threads() const { return threads_; }
-
- private:
-  const BcsdDec<V>* a_;
-  int threads_;
-  std::vector<index_t> blocked_bounds_;  // segments of the blocked part
-  std::vector<index_t> rem_bounds_;      // rows of the CSR remainder
-  std::vector<std::size_t> part_weights_;  // stored values per thread (both passes)
-};
-
-#define BSPMV_DECL(V)                          \
-  extern template class ThreadedCsrSpmv<V>;    \
-  extern template class ThreadedBcsrSpmv<V>;   \
-  extern template class ThreadedBcsdSpmv<V>;   \
-  extern template class ThreadedBcsrDecSpmv<V>; \
-  extern template class ThreadedBcsdDecSpmv<V>;
+#define BSPMV_DECL(V)            \
+  extern template class          \
+      ThreadedSpmv<Csr<V>>;      \
+  extern template class          \
+      ThreadedSpmv<Bcsr<V>>;     \
+  extern template class          \
+      ThreadedSpmv<Bcsd<V>>;     \
+  extern template class          \
+      ThreadedSpmv<BcsrDec<V>>;  \
+  extern template class          \
+      ThreadedSpmv<BcsdDec<V>>;
 BSPMV_DECL(float)
 BSPMV_DECL(double)
 #undef BSPMV_DECL

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/formats/format_ops.hpp"
 #include "src/util/macros.hpp"
 
 namespace bspmv {
@@ -38,32 +39,21 @@ std::vector<std::size_t> part_weight_sums(std::span<const std::size_t> weights,
   return sums;
 }
 
+// The per-format weight vectors are defined by FormatOps::pass_weights;
+// these named helpers are kept as the documented §V-A entry points.
 template <class V>
 std::vector<std::size_t> row_weights(const Csr<V>& a) {
-  std::vector<std::size_t> w(static_cast<std::size_t>(a.rows()));
-  for (index_t i = 0; i < a.rows(); ++i)
-    w[static_cast<std::size_t>(i)] = static_cast<std::size_t>(a.row_nnz(i));
-  return w;
+  return FormatOps<Csr<V>>::pass_weights(a, 0);
 }
 
 template <class V>
 std::vector<std::size_t> block_row_weights(const Bcsr<V>& a) {
-  const auto& brow_ptr = a.brow_ptr();
-  const std::size_t elems = static_cast<std::size_t>(a.shape().elems());
-  std::vector<std::size_t> w(static_cast<std::size_t>(a.block_rows()));
-  for (std::size_t br = 0; br < w.size(); ++br)
-    w[br] = static_cast<std::size_t>(brow_ptr[br + 1] - brow_ptr[br]) * elems;
-  return w;
+  return FormatOps<Bcsr<V>>::pass_weights(a, 0);
 }
 
 template <class V>
 std::vector<std::size_t> segment_weights(const Bcsd<V>& a) {
-  const auto& brow_ptr = a.brow_ptr();
-  const std::size_t b = static_cast<std::size_t>(a.b());
-  std::vector<std::size_t> w(static_cast<std::size_t>(a.segments()));
-  for (std::size_t s = 0; s < w.size(); ++s)
-    w[s] = static_cast<std::size_t>(brow_ptr[s + 1] - brow_ptr[s]) * b;
-  return w;
+  return FormatOps<Bcsd<V>>::pass_weights(a, 0);
 }
 
 template std::vector<std::size_t> row_weights(const Csr<float>&);

@@ -1,9 +1,15 @@
 // Parallel substrate tests: partition invariants and threaded-vs-serial
-// SpMV equivalence for every parallelised format and thread count.
+// SpMV parity, driven by the format registry — every format whose
+// FormatOps opts into kParallel is exercised automatically, so a new
+// parallel format gets coverage with no test edits.
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <string>
+#include <vector>
 
+#include "src/formats/registry.hpp"
+#include "src/kernels/spmv.hpp"
 #include "src/parallel/parallel_spmv.hpp"
 #include "tests/test_helpers.hpp"
 
@@ -78,85 +84,85 @@ TEST(Partition, PaddingAwareWeights) {
 
 // ------------------------------------------------ threaded equality ----
 
-class ThreadedSpmv : public ::testing::TestWithParam<int> {};
-
-TEST_P(ThreadedSpmv, CsrMatchesSerial) {
-  const int threads = GetParam();
-  const Coo<double> coo = random_coo<double>(101, 97, 0.06, 1);
-  const Csr<double> a = Csr<double>::from_coo(coo);
-  const auto x = random_x<double>(97, 3);
-  aligned_vector<double> ys(101, 0.0), yp(101, -1.0);
-  spmv(a, x.data(), ys.data());
-  for (Impl impl : {Impl::kScalar, Impl::kSimd}) {
-    ThreadedCsrSpmv<double>(a, threads).run(x.data(), yp.data(), impl);
-    expect_vectors_near(yp.data(), ys.data(), 101, "threaded csr");
+/// Representative candidates for one parallelisable format kind (block
+/// shapes / diagonal lengths that hit aligned, tall, wide and padded
+/// cases). The impl field is ignored; the test iterates both impls.
+std::vector<Candidate> parity_candidates(FormatKind kind) {
+  std::vector<Candidate> out;
+  switch (kind) {
+    case FormatKind::kCsr:
+      out.push_back(Candidate{kind, BlockShape{1, 1}, 0, Impl::kScalar});
+      break;
+    case FormatKind::kBcsr:
+    case FormatKind::kBcsrDec:
+      for (BlockShape shape : {BlockShape{2, 2}, BlockShape{3, 1},
+                               BlockShape{4, 2}, BlockShape{1, 8}})
+        out.push_back(Candidate{kind, shape, 0, Impl::kScalar});
+      break;
+    case FormatKind::kBcsd:
+    case FormatKind::kBcsdDec:
+      for (int b : {2, 4, 7})
+        out.push_back(Candidate{kind, BlockShape{1, 1}, b, Impl::kScalar});
+      break;
+    default:
+      ADD_FAILURE() << "no parity candidates for parallel format "
+                    << format_name(kind)
+                    << " — extend parity_candidates()";
   }
+  return out;
 }
 
-TEST_P(ThreadedSpmv, BcsrMatchesSerial) {
+class ThreadedParity : public ::testing::TestWithParam<int> {};
+
+// Every parallelisable format in the registry × scalar/simd, at the
+// parameterised thread count. Threading only re-partitions rows across
+// the same kernels, so the comparison is bitwise: each y element is
+// produced by exactly one kernel invocation with the same per-row
+// floating-point order as the serial run.
+TEST_P(ThreadedParity, RegistryFormatsMatchSerialBitwise) {
   const int threads = GetParam();
   const Coo<double> coo = random_blocky_coo<double>(90, 84, 3, 0.3, 0.8, 2);
   const Csr<double> a = Csr<double>::from_coo(coo);
   const auto x = random_x<double>(84, 4);
-  for (BlockShape shape : {BlockShape{2, 2}, BlockShape{3, 1},
-                           BlockShape{4, 2}, BlockShape{1, 8}}) {
-    const Bcsr<double> m = Bcsr<double>::from_csr(a, shape);
-    aligned_vector<double> ys(90, 0.0), yp(90, -1.0);
-    spmv(m, x.data(), ys.data());
-    ThreadedBcsrSpmv<double>(m, threads).run(x.data(), yp.data(), Impl::kSimd);
-    expect_vectors_near(yp.data(), ys.data(), 90,
-                        "threaded bcsr " + shape.to_string());
-  }
+  const std::size_t n = 90;
+
+  int parallel_formats = 0;
+  for_each_format<double>([&](auto tag) {
+    using F = typename decltype(tag)::type;
+    using Ops = FormatOps<F>;
+    if constexpr (Ops::kParallel) {
+      ++parallel_formats;
+      for (const Candidate& c : parity_candidates(Ops::kKind)) {
+        const F m = Ops::convert(a, c);
+        for (Impl impl : {Impl::kScalar, Impl::kSimd}) {
+          aligned_vector<double> ys(n, 0.0), yp(n, -1.0);
+          spmv(m, x.data(), ys.data(), impl);
+          ThreadedSpmv<F>(m, threads).run(x.data(), yp.data(), impl);
+          for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(yp[i], ys[i])
+                << c.id() << " impl=" << impl_name(impl) << " threads="
+                << threads << " row " << i;
+        }
+      }
+    }
+  });
+  // §V-A parallelises CSR, BCSR, BCSD and the two decomposed variants.
+  EXPECT_EQ(parallel_formats, 5);
 }
 
-TEST_P(ThreadedSpmv, BcsdMatchesSerial) {
-  const int threads = GetParam();
-  const Coo<double> coo =
-      bspmv::testing::random_coo<double>(95, 88, 0.07, 5);
-  const Csr<double> a = Csr<double>::from_coo(coo);
-  const auto x = random_x<double>(88, 6);
-  for (int b : {2, 4, 7}) {
-    const Bcsd<double> m = Bcsd<double>::from_csr(a, b);
-    aligned_vector<double> ys(95, 0.0), yp(95, -1.0);
-    spmv(m, x.data(), ys.data());
-    ThreadedBcsdSpmv<double>(m, threads).run(x.data(), yp.data());
-    expect_vectors_near(yp.data(), ys.data(), 95,
-                        "threaded bcsd b=" + std::to_string(b));
-  }
-}
-
-TEST_P(ThreadedSpmv, DecomposedMatchesSerial) {
-  const int threads = GetParam();
-  const Coo<double> coo = random_blocky_coo<double>(87, 92, 2, 0.3, 0.85, 7);
-  const Csr<double> a = Csr<double>::from_coo(coo);
-  const auto x = random_x<double>(92, 8);
-
-  const BcsrDec<double> m1 = BcsrDec<double>::from_csr(a, BlockShape{2, 2});
-  aligned_vector<double> ys(87, 0.0), yp(87, -1.0);
-  spmv(m1, x.data(), ys.data());
-  ThreadedBcsrDecSpmv<double>(m1, threads).run(x.data(), yp.data());
-  expect_vectors_near(yp.data(), ys.data(), 87, "threaded bcsr_dec");
-
-  const BcsdDec<double> m2 = BcsdDec<double>::from_csr(a, 3);
-  aligned_vector<double> ys2(87, 0.0), yp2(87, -1.0);
-  spmv(m2, x.data(), ys2.data());
-  ThreadedBcsdDecSpmv<double>(m2, threads).run(x.data(), yp2.data(),
-                                               Impl::kSimd);
-  expect_vectors_near(yp2.data(), ys2.data(), 87, "threaded bcsd_dec");
-}
-
-TEST_P(ThreadedSpmv, FloatMatchesSerial) {
+TEST_P(ThreadedParity, FloatMatchesSerialBitwise) {
   const int threads = GetParam();
   const Coo<float> coo = random_coo<float>(77, 83, 0.08, 9);
   const Csr<float> a = Csr<float>::from_coo(coo);
   const auto x = random_x<float>(83, 10);
   aligned_vector<float> ys(77, 0.0f), yp(77, -1.0f);
   spmv(a, x.data(), ys.data());
-  ThreadedCsrSpmv<float>(a, threads).run(x.data(), yp.data());
-  expect_vectors_near(yp.data(), ys.data(), 77, "threaded csr float");
+  ThreadedSpmv<Csr<float>>(a, threads).run(x.data(), yp.data());
+  for (std::size_t i = 0; i < 77; ++i) EXPECT_EQ(yp[i], ys[i]) << "row " << i;
 }
 
-INSTANTIATE_TEST_SUITE_P(Threads, ThreadedSpmv, ::testing::Values(1, 2, 3, 4));
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadedParity,
+                         ::testing::Values(1, 2, 4, 7));
 
 TEST(ThreadedSpmvEdge, MoreThreadsThanRows) {
   Coo<double> coo(3, 3);
@@ -165,7 +171,7 @@ TEST(ThreadedSpmvEdge, MoreThreadsThanRows) {
   const Csr<double> a = Csr<double>::from_coo(coo);
   const aligned_vector<double> x = {1.0, 1.0, 1.0};
   aligned_vector<double> y(3, -1.0);
-  ThreadedCsrSpmv<double>(a, 8).run(x.data(), y.data());
+  ThreadedSpmv<Csr<double>>(a, 8).run(x.data(), y.data());
   EXPECT_DOUBLE_EQ(y[0], 1.0);
   EXPECT_DOUBLE_EQ(y[1], 0.0);
   EXPECT_DOUBLE_EQ(y[2], 2.0);
@@ -174,7 +180,7 @@ TEST(ThreadedSpmvEdge, MoreThreadsThanRows) {
 TEST(ThreadedSpmvEdge, RejectsZeroThreads) {
   const Csr<double> a =
       Csr<double>::from_coo(random_coo<double>(4, 4, 0.5, 1));
-  EXPECT_THROW(ThreadedCsrSpmv<double>(a, 0), invalid_argument_error);
+  EXPECT_THROW(ThreadedSpmv<Csr<double>>(a, 0), invalid_argument_error);
 }
 
 TEST(ThreadedSpmvEdge, MoreThreadsThanRowsAllFormats) {
@@ -191,22 +197,22 @@ TEST(ThreadedSpmvEdge, MoreThreadsThanRowsAllFormats) {
   spmv(a, x.data(), ys.data());
 
   aligned_vector<double> y(3, -1.0);
-  ThreadedCsrSpmv<double>(a, 16).run(x.data(), y.data());
+  ThreadedSpmv<Csr<double>>(a, 16).run(x.data(), y.data());
   expect_vectors_near(y.data(), ys.data(), 3, "csr 16 threads");
 
   const Bcsr<double> mb = Bcsr<double>::from_csr(a, BlockShape{2, 2});
   y.assign(3, -1.0);
-  ThreadedBcsrSpmv<double>(mb, 16).run(x.data(), y.data(), Impl::kScalar);
+  ThreadedSpmv<Bcsr<double>>(mb, 16).run(x.data(), y.data(), Impl::kScalar);
   expect_vectors_near(y.data(), ys.data(), 3, "bcsr 16 threads");
 
   const Bcsd<double> md = Bcsd<double>::from_csr(a, 4);
   y.assign(3, -1.0);
-  ThreadedBcsdSpmv<double>(md, 16).run(x.data(), y.data());
+  ThreadedSpmv<Bcsd<double>>(md, 16).run(x.data(), y.data());
   expect_vectors_near(y.data(), ys.data(), 3, "bcsd 16 threads");
 
   const BcsrDec<double> mbd = BcsrDec<double>::from_csr(a, BlockShape{2, 2});
   y.assign(3, -1.0);
-  ThreadedBcsrDecSpmv<double>(mbd, 16).run(x.data(), y.data());
+  ThreadedSpmv<BcsrDec<double>>(mbd, 16).run(x.data(), y.data());
   expect_vectors_near(y.data(), ys.data(), 3, "bcsr_dec 16 threads");
 }
 
@@ -220,7 +226,7 @@ TEST(ThreadedSpmvEdge, SingleRowMatrix) {
   spmv(a, x.data(), ys.data());
   for (int threads : {1, 2, 7}) {
     aligned_vector<double> y(1, -1.0);
-    ThreadedCsrSpmv<double>(a, threads).run(x.data(), y.data());
+    ThreadedSpmv<Csr<double>>(a, threads).run(x.data(), y.data());
     expect_vectors_near(y.data(), ys.data(), 1,
                         "single row, " + std::to_string(threads) + " threads");
   }
