@@ -6,6 +6,7 @@
 
 #include "src/core/engine.hpp"
 #include "src/observe/report.hpp"
+#include "src/util/atomic_file.hpp"
 #include "src/util/macros.hpp"
 
 namespace bspmv::bench {
@@ -94,6 +95,8 @@ const char* format_label(FormatKind kind) {
     case FormatKind::kBcsdDec: return "BCSD-DEC";
     case FormatKind::kVbl: return "1D-VBL";
     case FormatKind::kVbr: return "VBR";
+    case FormatKind::kUbcsr: return "UBCSR";
+    case FormatKind::kCsrDelta: return "CSR-DELTA";
   }
   return "?";
 }
@@ -103,12 +106,12 @@ const char* format_label(FormatKind kind) {
 SweepCache::SweepCache(std::string path, bool disabled)
     : path_(std::move(path)), disabled_(disabled) {
   if (disabled_) return;
-  std::ifstream f(path_);
-  if (!f) return;  // absence is normal, not corruption
-  std::ostringstream ss;
-  ss << f.rdbuf();
   try {
-    const Json j = Json::parse(ss.str());
+    // Checksum-verified read: a torn or bit-flipped cache is detected
+    // here (io_error) and handled like any other corruption below.
+    const auto text = read_file_if_exists(path_);
+    if (!text) return;  // absence is normal, not corruption
+    const Json j = Json::parse(*text);
     const auto& obj = j.as_object();
     const auto version = obj.find(kSchemaKey);
     if (version == obj.end() ||
@@ -151,10 +154,10 @@ void SweepCache::save() {
   Json::Object o;
   o[kSchemaKey] = kSchemaVersion;
   for (const auto& [k, v] : entries_) o[k] = v;
-  std::ofstream f(path_);
-  BSPMV_CHECK_MSG(static_cast<bool>(f),
-                  "cannot write sweep cache " + path_);
-  f << Json(std::move(o)).dump(-1) << '\n';
+  // Crash-safe: a kill mid-save leaves the previous cache intact, and
+  // the checksum trailer lets the next load detect torn writes.
+  atomic_write_file(path_, Json(std::move(o)).dump(-1) + '\n',
+                    /*with_checksum=*/true);
   dirty_ = false;
 }
 

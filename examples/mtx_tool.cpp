@@ -9,6 +9,7 @@
 //   $ ./mtx_tool report --validate report.json
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "src/core/engine.hpp"
@@ -22,12 +23,36 @@
 #include "src/io/matrix_market.hpp"
 #include "src/observe/report.hpp"
 #include "src/profile/block_profiler.hpp"
+#include "src/util/atomic_file.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/errors.hpp"
+#include "src/util/run_control.hpp"
 
 using namespace bspmv;
 
 namespace {
+
+// Distinct exit codes per error family so scripts and CI can branch on
+// the failure class without scraping stderr (see docs/robustness.md).
+enum ExitCode {
+  kExitError = 1,       // any other bspmv::error
+  kExitParse = 2,       // unreadable/garbled input matrix
+  kExitConversion = 3,  // format conversion failed / resource limit
+  kExitTimeout = 4,     // deadline expired / run cancelled or stalled
+  kExitNumerical = 5,   // NaN/Inf or fingerprint mismatch
+  kExitIo = 6,          // corrupt or unwritable cache/output file
+};
+
+/// Arm a RunControl from --deadline-ms; returns nullptr (no control)
+/// when the option is absent or zero.
+RunControl* setup_control(const CliParser& cli,
+                          std::optional<RunControl>& storage) {
+  const auto deadline_ms = cli.get_int("deadline-ms");
+  if (deadline_ms <= 0) return nullptr;
+  storage.emplace();
+  storage->set_deadline(static_cast<double>(deadline_ms) / 1e3);
+  return &*storage;
+}
 
 /// Load the target matrix for either subcommand: --suite id wins,
 /// otherwise the positional path at `pos_index` is a Matrix Market file.
@@ -77,13 +102,19 @@ int run_report(const CliParser& cli) {
     return 1;
   }
 
+  std::optional<RunControl> control_storage;
+  RunControl* control = setup_control(cli, control_storage);
+
   ProfileOptions popt;
   popt.quick = true;
+  popt.control = control;
   const MachineProfile profile = load_or_profile(cli.get("profile"), popt);
 
   observe::ReportOptions ropt;
   ropt.measure.iterations = static_cast<int>(cli.get_int("iterations"));
   ropt.measure.reps = static_cast<int>(cli.get_int("reps"));
+  ropt.measure.control = control;
+  ropt.measure.check_numerics = cli.get_flag("check-numerics");
   ropt.threads = static_cast<int>(cli.get_int("threads"));
   ropt.verbose = cli.get_flag("verbose");
 
@@ -91,25 +122,17 @@ int run_report(const CliParser& cli) {
       observe::build_run_report(a, name, profile, ropt);
   const Json j = report.to_json();
 
+  // Crash-safe outputs: a killed run leaves either the previous file or
+  // the new one, never a truncated hybrid.
   const std::string out = cli.get("out");
-  std::ofstream of(out);
-  if (!of) {
-    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
-    return 1;
-  }
-  of << j.dump(2) << '\n';
+  atomic_write_file(out, j.dump(2) + '\n');
   std::printf("wrote %s: %zu candidates, %zu selections, %d threads%s\n",
               out.c_str(), report.candidates.size(), report.selections.size(),
               report.threads, report.fallback ? " (CSR fallback)" : "");
 
   const std::string csv = cli.get("csv");
   if (!csv.empty()) {
-    std::ofstream cf(csv);
-    if (!cf) {
-      std::fprintf(stderr, "error: cannot write %s\n", csv.c_str());
-      return 1;
-    }
-    cf << report.to_csv();
+    atomic_write_file(csv, report.to_csv());
     std::printf("wrote %s\n", csv.c_str());
   }
 
@@ -135,6 +158,10 @@ int run(int argc, char** argv) {
   cli.add_option("iterations", "10",
                  "SpMV iterations per timed batch (paper setting: 100)");
   cli.add_option("reps", "2", "timed batches (minimum time reported)");
+  cli.add_option("deadline-ms", "0",
+                 "abort profiling/measurement after this many ms (exit 4)");
+  cli.add_flag("check-numerics",
+               "scan vectors for NaN/Inf and verify output fingerprints");
   cli.add_flag("measure", "also measure the top candidates' real time");
   cli.add_flag("reorder", "apply the similarity row reordering first");
   cli.add_flag("verbose", "report: progress output on stderr");
@@ -177,8 +204,12 @@ int run(int argc, char** argv) {
               static_cast<double>(a.nnz()) /
                   static_cast<double>(vbl_block_count(a)));
 
+  std::optional<RunControl> control_storage;
+  RunControl* control = setup_control(cli, control_storage);
+
   ProfileOptions popt;
   popt.quick = true;
+  popt.control = control;
   const MachineProfile profile = load_or_profile(cli.get("profile"), popt);
 
   std::printf("\nmodel selections:\n");
@@ -199,6 +230,8 @@ int run(int argc, char** argv) {
   MeasureOptions mopt;
   mopt.iterations = static_cast<int>(cli.get_int("iterations"));
   mopt.reps = static_cast<int>(cli.get_int("reps"));
+  mopt.control = control;
+  mopt.check_numerics = cli.get_flag("check-numerics");
   for (std::size_t i = 0; i < std::min(top, ranked.size()); ++i) {
     std::printf("  %2zu. %-22s predicted %.3f ms", i + 1,
                 ranked[i].candidate.id().c_str(),
@@ -215,13 +248,29 @@ int run(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Every deliberate library failure derives from bspmv::error, so one
-  // handler turns any of them (parse, validation, resource limit) into a
-  // clean diagnostic instead of std::terminate.
+  // Every deliberate library failure derives from bspmv::error; map each
+  // family to its own exit code (derived classes before their bases —
+  // resource_limit_error is a conversion_error, cancelled/timeout are
+  // execution_errors).
   try {
     return run(argc, argv);
+  } catch (const bspmv::parse_error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitParse;
+  } catch (const bspmv::execution_error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitTimeout;
+  } catch (const bspmv::numerical_error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitNumerical;
+  } catch (const bspmv::io_error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitIo;
+  } catch (const bspmv::conversion_error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitConversion;
   } catch (const bspmv::error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitError;
   }
 }

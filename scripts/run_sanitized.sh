@@ -20,4 +20,4 @@ cmake --build "$build_dir" -j "$(nproc)"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 
-ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)" "$@"
+ctest --test-dir "$build_dir" --output-on-failure --timeout 300 -j "$(nproc)" "$@"

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Build under ThreadSanitizer and run the watchdog/cancellation tests —
+# the std::thread-based concurrency introduced by RunControl/Watchdog
+# (deadline enforcement, first-abort-wins, heartbeat stall detection).
+#
+# Scope: only test_run_control is run. That binary is deliberately
+# OpenMP-free; TSan has well-known false positives with libgomp's
+# barrier/team implementation (it cannot see GOMP's internal
+# synchronisation), so the OpenMP drivers are excluded here and covered
+# by ASan/UBSan and the functional suite instead.
+#
+# Usage: scripts/run_tsan.sh [extra ctest args...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build-tsan}"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DBSPMV_TSAN=ON \
+  -DBSPMV_BUILD_BENCH=OFF \
+  -DBSPMV_BUILD_EXAMPLES=OFF
+cmake --build "$build_dir" -j "$(nproc)" --target test_run_control
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+
+ctest --test-dir "$build_dir" --output-on-failure --timeout 300 \
+  -j "$(nproc)" -R '^(RunControl|Watchdog|AtomicFile|RobustSamples|Numerics)\.' "$@"

@@ -1,29 +1,16 @@
 #include "src/core/engine.hpp"
 
-#include "src/observe/observe.hpp"
 #include "src/util/macros.hpp"
-#include "src/util/prng.hpp"
 
 namespace bspmv {
-
-namespace {
-
-template <class V>
-aligned_vector<V> random_vector(std::size_t n, std::uint64_t seed) {
-  aligned_vector<V> v(n);
-  Xoshiro256 rng(seed);
-  for (auto& e : v) e = static_cast<V>(rng.uniform() - 0.5);
-  return v;
-}
-
-}  // namespace
 
 template <class V>
 template <class F>
 struct SpmvEngine<V>::TypedPlan final : SpmvEngine<V>::Plan {
   TypedPlan(const F& m, int threads) : driver(m, threads) {}
-  void run(const V* x, V* y, Impl impl) const override {
-    driver.run(x, y, impl);
+  void run(const V* x, V* y, Impl impl,
+           RunControl* control) const override {
+    driver.run(x, y, impl, control);
   }
   ThreadedSpmv<F> driver;
 };
@@ -65,8 +52,23 @@ SpmvEngine<V> SpmvEngine<V>::borrow(const AnyFormat<V>& f, int threads) {
 template <class V>
 void SpmvEngine<V>::set_threads(int threads) {
   if (threads == threads_ && (plan_ || threads == 0)) return;
+  // Strong guarantee: if the new plan cannot be built (e.g. a
+  // CSR-fallback engine replanned onto a non-parallel format), the
+  // engine must stay on its previous, working plan.
+  const int prev = threads_;
   threads_ = threads;
-  build_plan();
+  try {
+    build_plan();
+  } catch (...) {
+    threads_ = prev;
+    try {
+      build_plan();
+    } catch (...) {
+      // The previous configuration built once, so rebuilding it cannot
+      // throw; guard anyway so set_threads never terminates.
+    }
+    throw;
+  }
 }
 
 template <class V>
@@ -87,22 +89,39 @@ void SpmvEngine<V>::build_plan() {
 template <class V>
 void SpmvEngine<V>::run(const V* x, V* y) const {
   if (plan_)
-    plan_->run(x, y, fmt_->candidate().impl);
+    plan_->run(x, y, fmt_->candidate().impl, nullptr);
   else
     fmt_->run(x, y);
+}
+
+template <class V>
+void SpmvEngine<V>::run(const V* x, V* y, RunControl* control,
+                        bool check_numerics) const {
+  if (check_numerics)
+    check_finite("run: input vector x", x,
+                 static_cast<std::size_t>(fmt_->cols()));
+  if (control) control->check();
+  if (plan_)
+    plan_->run(x, y, fmt_->candidate().impl, control);
+  else
+    fmt_->run(x, y);
+  if (control) control->throw_if_aborted();
+  if (check_numerics)
+    check_finite("run: output vector y", y,
+                 static_cast<std::size_t>(fmt_->rows()));
 }
 
 template <class V>
 double SpmvEngine<V>::measure(const MeasureOptions& opt) const {
   BSPMV_OBS_SPAN("measure");
   BSPMV_OBS_SPAN(plan_ ? "threaded" : "spmv");
-  const auto x =
-      random_vector<V>(static_cast<std::size_t>(fmt_->cols()), opt.seed);
-  aligned_vector<V> y(static_cast<std::size_t>(fmt_->rows()), V{0});
-  const auto res = time_repeated([&] { run(x.data(), y.data()); },
-                                 opt.iterations, opt.reps, opt.warmup);
-  do_not_optimize(y.data());
-  return res.seconds_per_iter;
+  return detail::measure_guarded<V>(
+      fmt_->rows(), fmt_->cols(), opt, [&](const V* x, V* y) {
+        if (plan_)
+          plan_->run(x, y, fmt_->candidate().impl, opt.control);
+        else
+          fmt_->run(x, y);
+      });
 }
 
 template class SpmvEngine<float>;

@@ -19,14 +19,102 @@
 // The measurement loops are instrumented: spans "measure/spmv" (plain
 // plan) and "measure/threaded" (threaded plan), plus the per-thread
 // "parallel/<fmt>" metrics recorded by ThreadedSpmv itself.
+//
+// Robustness rails (all opt-in, zero cost when unused): measure() honours
+// MeasureOptions::control — a RunControl carrying a deadline and/or
+// cooperative cancellation, enforced by a Watchdog plus iteration-edge
+// and granule-boundary polls — and MeasureOptions::check_numerics, the
+// NaN/Inf + output-fingerprint health guard. The guarded run() overload
+// applies the same guards to a single y = A·x for service loops.
 #pragma once
 
+#include <limits>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/core/executor.hpp"
+#include "src/observe/observe.hpp"
+#include "src/util/numerics.hpp"
+#include "src/util/prng.hpp"
+#include "src/util/run_control.hpp"
 
 namespace bspmv {
+
+namespace detail {
+
+template <class V>
+aligned_vector<V> random_measure_vector(std::size_t n, std::uint64_t seed) {
+  aligned_vector<V> v(n);
+  Xoshiro256 rng(seed);
+  for (auto& e : v) e = static_cast<V>(rng.uniform() - 0.5);
+  return v;
+}
+
+/// The resilient repeated-batch measurement loop behind
+/// SpmvEngine::measure, shared (as a template) with the fault-injection
+/// tests so injected stalls and cancellations exercise the exact
+/// production path. `run_once(x, y)` must compute y = A·x; the loop
+/// replicates the paper's methodology (warmup, `reps` batches of
+/// `iterations`, minimum per-iteration time reported) with the
+/// RunControl/Watchdog and numeric-guard rails of MeasureOptions.
+template <class V, class RunFn>
+double measure_guarded(index_t rows, index_t cols, const MeasureOptions& opt,
+                       RunFn&& run_once) {
+  BSPMV_CHECK(opt.iterations > 0 && opt.reps > 0 && opt.warmup >= 0);
+  const auto x =
+      random_measure_vector<V>(static_cast<std::size_t>(cols), opt.seed);
+  aligned_vector<V> y(static_cast<std::size_t>(rows), V{0});
+
+  RunControl* rc = opt.control;
+  // The watchdog enforces the deadline/stall budget even while workers
+  // are inside a kernel; it spawns no thread when neither is configured.
+  std::optional<Watchdog> watchdog;
+  if (rc) watchdog.emplace(*rc);
+
+  if (opt.check_numerics)
+    check_finite("measure: input vector x", x.data(), x.size());
+
+  auto once = [&] {
+    if (rc) rc->check();  // iteration edge: deadline + typed throw
+    run_once(x.data(), y.data());
+    if (rc) {
+      rc->heartbeat(0);
+      rc->throw_if_aborted();  // an abort mid-run leaves y indeterminate
+    }
+  };
+
+  // The fingerprint needs a completed reference output; guarantee one
+  // warmup run when the guard is on.
+  const int warmup =
+      opt.check_numerics && opt.warmup == 0 ? 1 : opt.warmup;
+  for (int i = 0; i < warmup; ++i) once();
+
+  std::uint64_t ref_fp = 0;
+  if (opt.check_numerics) {
+    check_finite("measure: output vector y", y.data(), y.size());
+    ref_fp = bits_fingerprint(y.data(), y.size());
+    BSPMV_OBS_COUNT("guard.numeric_scans", 1);
+  }
+
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < opt.reps; ++r) {
+    Timer t;
+    for (int i = 0; i < opt.iterations; ++i) once();
+    best = std::min(best, t.elapsed() / opt.iterations);
+    if (opt.check_numerics &&
+        bits_fingerprint(y.data(), y.size()) != ref_fp) {
+      BSPMV_OBS_COUNT("guard.fingerprint_failures", 1);
+      throw numerical_error(
+          "measure: output fingerprint changed between batches — "
+          "nondeterministic kernel or memory corruption");
+    }
+  }
+  do_not_optimize(y.data());
+  return best;
+}
+
+}  // namespace detail
 
 template <class V>
 class SpmvEngine {
@@ -58,8 +146,17 @@ class SpmvEngine {
   /// y = A·x through the current plan.
   void run(const V* x, V* y) const;
 
+  /// Guarded y = A·x for service loops: optionally scans x before and y
+  /// after for NaN/Inf (numerical_error), and honours a RunControl —
+  /// threaded plans poll its stop flag at granule boundaries, and the
+  /// control's typed error is thrown after the run if it aborted. Either
+  /// rail may be off (control == nullptr / check_numerics == false).
+  void run(const V* x, V* y, RunControl* control,
+           bool check_numerics = false) const;
+
   /// Seconds per SpMV the way the paper measures it: repeated consecutive
-  /// operations on a random input vector, minimum over reps.
+  /// operations on a random input vector, minimum over reps. Honours
+  /// opt.control and opt.check_numerics (see MeasureOptions).
   double measure(const MeasureOptions& opt = {}) const;
 
  private:
@@ -70,7 +167,8 @@ class SpmvEngine {
   /// virtual run); absent when threads_ == 0.
   struct Plan {
     virtual ~Plan() = default;
-    virtual void run(const V* x, V* y, Impl impl) const = 0;
+    virtual void run(const V* x, V* y, Impl impl,
+                     RunControl* control) const = 0;
   };
   template <class F>
   struct TypedPlan;

@@ -114,6 +114,20 @@ struct MeasureOptions {
   int reps = 2;               ///< batches; the minimum is reported
   int warmup = 1;             ///< unmeasured batches
   std::uint64_t seed = 1234;  ///< input-vector RNG seed
+
+  /// Optional cooperative deadline/cancellation/stall control, polled at
+  /// iteration edges (and granule boundaries in threaded plans). The
+  /// engine spawns a Watchdog for it when it carries a deadline or stall
+  /// timeout. Non-owning; must outlive the measurement. nullptr (the
+  /// default) keeps every hot loop exactly as fast as before.
+  RunControl* control = nullptr;
+
+  /// Opt-in numeric health guard: scan x before and y after the run for
+  /// NaN/Inf and verify the per-batch output fingerprint stays bitwise
+  /// identical (deterministic kernels on a fixed input must reproduce);
+  /// violations throw bspmv::numerical_error. Scans run outside the
+  /// timed batches.
+  bool check_numerics = false;
 };
 
 /// Seconds per SpMV for one materialised candidate.

@@ -11,6 +11,7 @@
 
 #include "src/core/selector.hpp"
 #include "src/observe/observe.hpp"
+#include "src/util/atomic_file.hpp"
 #include "src/util/macros.hpp"
 
 namespace bspmv::observe {
@@ -441,9 +442,9 @@ void append_to_trajectory(const std::string& path, const Json& entry) {
   }
   doc["entries"].as_array().push_back(entry);
 
-  std::ofstream f(path);
-  BSPMV_CHECK_MSG(static_cast<bool>(f), "cannot write trajectory " + path);
-  f << doc.dump(-1) << '\n';
+  // Crash-safe append: rewrite via temp-file + rename so a kill mid-write
+  // can only lose the newest entry, never the accumulated trajectory.
+  atomic_write_file(path, doc.dump(-1) + '\n');
 }
 
 #define BSPMV_INST(V)                                          \

@@ -33,6 +33,7 @@
 #include "src/observe/observe.hpp"
 #include "src/parallel/partition.hpp"
 #include "src/util/macros.hpp"
+#include "src/util/run_control.hpp"
 
 namespace bspmv {
 
@@ -46,8 +47,24 @@ class ThreadedSpmv {
                 "variants (§V-A)");
 
  public:
+  /// Granules per cancellation-poll / heartbeat when a RunControl is
+  /// attached: large enough that the relaxed-atomic poll is invisible
+  /// next to the kernel work, small enough (sub-millisecond of rows)
+  /// that deadlines and stalls are observed promptly.
+  static constexpr index_t kControlChunk = 256;
+
   ThreadedSpmv(const Format& a, int threads);
-  void run(const V* x, V* y, Impl impl = Impl::kScalar) const;
+
+  /// y = A·x. Without a control this is the paper's driver, one
+  /// pass_run per pass per thread. With one, each thread executes its
+  /// granule range in kControlChunk slices, polling the control's stop
+  /// flag (one relaxed load) and heartbeating between slices; on a
+  /// cancellation/deadline/stall the remaining slices are skipped — all
+  /// threads still meet every pass barrier, then the caller's
+  /// control->check() surfaces the typed error. y is indeterminate after
+  /// an aborted run.
+  void run(const V* x, V* y, Impl impl = Impl::kScalar,
+           RunControl* control = nullptr) const;
   int threads() const { return threads_; }
 
  private:
@@ -78,24 +95,42 @@ ThreadedSpmv<Format>::ThreadedSpmv(const Format& a, int threads)
 }
 
 template <class Format>
-void ThreadedSpmv<Format>::run(const V* x, V* y, Impl impl) const {
+void ThreadedSpmv<Format>::run(const V* x, V* y, Impl impl,
+                               RunControl* control) const {
 #pragma omp parallel num_threads(threads_)
   {
     const int tid = omp_get_thread_num();
     BSPMV_OBS_THREAD_TIMER(obs_timer);
+    // Publish the control to this thread so deep code (kernels, injected
+    // test formats) can poll cancellation without a plumbed parameter.
+    RunControl::ScopedCurrent ambient(control);
     for (int pass = 0; pass < Ops::kPasses; ++pass) {
       if (pass > 0) {
         // Later passes partition rows differently, so wait until every
         // earlier-pass contribution has landed before accumulating.
+        // Cancellation must never skip this barrier — every thread
+        // reaches it on every pass, aborted or not, or the region hangs.
 #pragma omp barrier
       }
       const auto& bounds = bounds_[static_cast<std::size_t>(pass)];
       const index_t g0 = bounds[static_cast<std::size_t>(tid)];
       const index_t g1 = bounds[static_cast<std::size_t>(tid) + 1];
-      if (pass == 0)
-        std::fill(y + Ops::pass_first_row(*a_, 0, g0),
-                  y + Ops::pass_first_row(*a_, 0, g1), V{0});
-      Ops::pass_run(*a_, pass, g0, g1, x, y, impl);
+      if (control == nullptr) {
+        if (pass == 0)
+          std::fill(y + Ops::pass_first_row(*a_, 0, g0),
+                    y + Ops::pass_first_row(*a_, 0, g1), V{0});
+        Ops::pass_run(*a_, pass, g0, g1, x, y, impl);
+      } else if (!control->stop_requested()) {
+        if (pass == 0)
+          std::fill(y + Ops::pass_first_row(*a_, 0, g0),
+                    y + Ops::pass_first_row(*a_, 0, g1), V{0});
+        for (index_t g = g0; g < g1; g += kControlChunk) {
+          if (control->stop_requested()) break;  // one relaxed load
+          Ops::pass_run(*a_, pass, g, std::min<index_t>(g1, g + kControlChunk),
+                        x, y, impl);
+          control->heartbeat(tid);
+        }
+      }
     }
 #if defined(BSPMV_OBSERVE_HOOKS) && BSPMV_OBSERVE_HOOKS
     static const std::string metric = std::string("parallel/") + Ops::kName;

@@ -62,10 +62,19 @@ Sizes pick_sizes(const CacheInfo& cache, bool quick) {
   return {small_n, large_n};
 }
 
-// Per-iteration wall time of fn.
-double time_kernel(const std::function<void()>& fn, bool quick) {
-  return time_adaptive(fn, quick ? 5e-3 : 20e-3, quick ? 2 : 3)
-      .seconds_per_iter;
+// Per-iteration wall time of fn, estimated resiliently: each sample is
+// one adaptive timing window, the sample set is MAD-gated against
+// outliers (a page fault, a migrated thread, a noisy neighbour) and
+// contaminated rounds are retried with backoff per opt.sampling. The
+// minimum of the accepted samples is the paper's "best observed" time.
+double time_kernel(const std::function<void()>& fn, const ProfileOptions& opt) {
+  const double window = opt.quick ? 5e-3 : 20e-3;
+  SamplePolicy policy = opt.sampling;
+  if (opt.quick) policy.min_samples = std::min(policy.min_samples, 2);
+  const SampleStats stats = robust_samples(
+      [&] { return time_adaptive(fn, window, 1).seconds_per_iter; }, policy,
+      opt.control);
+  return stats.best;
 }
 
 template <class V>
@@ -91,10 +100,11 @@ void profile_precision(MachineProfile& profile, const ProfileOptions& opt,
                          std::size_t nb_large, std::size_t ws_large,
                          const std::function<void()>& run_small,
                          const std::function<void()>& run_large) {
-    const double t_small = time_kernel(run_small, opt.quick);
+    if (opt.control) opt.control->check();
+    const double t_small = time_kernel(run_small, opt);
     const double tb = t_small / static_cast<double>(nb_small);
 
-    const double t_real = time_kernel(run_large, opt.quick);
+    const double t_real = time_kernel(run_large, opt);
     const double t_mem =
         static_cast<double>(ws_large) / profile.bandwidth_bps;
     double nof =
@@ -194,6 +204,7 @@ MachineProfile profile_machine(const ProfileOptions& opt) {
                         std::to_string(cache.llc_bytes / 1024 / 1024) + "MiB)";
 
   StreamOptions sopt;
+  sopt.control = opt.control;
   // Three STREAM arrays totalling the nof matrix's working set: BW and
   // t_real are then measured in the same memory regime (see llc_factor).
   sopt.array_bytes = std::max<std::size_t>(

@@ -1,9 +1,8 @@
 #include "src/profile/machine_profile.hpp"
 
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 
+#include "src/util/atomic_file.hpp"
 #include "src/util/macros.hpp"
 
 namespace bspmv {
@@ -90,29 +89,30 @@ MachineProfile MachineProfile::from_json(const Json& j) {
 }
 
 void MachineProfile::save(const std::string& path) const {
-  std::ofstream f(path);
-  BSPMV_CHECK_MSG(static_cast<bool>(f), "cannot open '" + path + "' for writing");
-  f << to_json().dump(2) << '\n';
-  f.flush();
-  BSPMV_CHECK_MSG(static_cast<bool>(f), "write to '" + path + "' failed");
+  // Crash-safe: temp file + fsync + rename, with a trailing checksum so
+  // a torn or bit-flipped profile is detected at load time instead of
+  // silently mis-modelling the machine.
+  atomic_write_file(path, to_json().dump(2) + '\n', /*with_checksum=*/true);
 }
 
 MachineProfile MachineProfile::load(const std::string& path) {
-  std::ifstream f(path);
-  BSPMV_CHECK_MSG(static_cast<bool>(f), "cannot open '" + path + '\'');
-  std::ostringstream ss;
-  ss << f.rdbuf();
-  return from_json(Json::parse(ss.str()));
+  return from_json(Json::parse(read_file_checked(path)));
 }
 
 std::optional<MachineProfile> MachineProfile::try_load(
     const std::string& path) {
-  std::ifstream f(path);
-  if (!f) return std::nullopt;  // absence is normal, not corruption
-  std::ostringstream ss;
-  ss << f.rdbuf();
+  std::optional<std::string> text;
   try {
-    return from_json(Json::parse(ss.str()));
+    text = read_file_if_exists(path);  // verifies the checksum trailer
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "warning: ignoring machine profile %s (%s); re-profiling\n",
+                 path.c_str(), e.what());
+    return std::nullopt;
+  }
+  if (!text) return std::nullopt;  // absence is normal, not corruption
+  try {
+    return from_json(Json::parse(*text));
   } catch (const std::exception& e) {
     std::fprintf(stderr,
                  "warning: ignoring machine profile %s (%s); re-profiling\n",

@@ -1,0 +1,44 @@
+// Measurement resilience for the kernel profiler — the t_b / nof_b model
+// inputs (eq. 2 and eq. 4) come from wall-clock timings that on shared
+// or noisy machines get contaminated by migrations, frequency ramps and
+// co-tenant interference. robust_samples() wraps a raw timing draw with
+// MAD-based outlier rejection and retry-with-backoff so one straggler
+// sample cannot poison a machine profile that is then cached for weeks.
+#pragma once
+
+#include <functional>
+
+#include "src/util/run_control.hpp"
+
+namespace bspmv {
+
+/// Policy knobs for one robust measurement.
+struct SamplePolicy {
+  int min_samples = 3;      ///< accepted samples required for a verdict
+  int max_retries = 2;      ///< extra draw rounds when contaminated
+  /// Samples farther than this many MADs from the median are rejected
+  /// (the classic robust z-score gate; MAD is floored at 0.5% of the
+  /// median so a perfectly quiet machine never divides by ~zero).
+  double mad_gate = 6.0;
+  double backoff_seconds = 0.002;  ///< sleep before retry 1; doubles per round
+};
+
+/// Outcome of a robust measurement, for logging/telemetry.
+struct SampleStats {
+  double best = 0.0;    ///< minimum accepted sample (the paper's estimator)
+  double median = 0.0;  ///< median of accepted samples
+  int accepted = 0;
+  int rejected = 0;  ///< outliers discarded across all rounds
+  int retries = 0;   ///< extra rounds drawn
+};
+
+/// Draw timing samples from `draw` until `policy.min_samples` of them
+/// pass the MAD gate or retries are exhausted (then the survivors win —
+/// a profile late is better than no profile). `control` is checked
+/// before every draw so a profiling deadline aborts between samples with
+/// bspmv::timeout_error rather than mid-kernel.
+SampleStats robust_samples(const std::function<double()>& draw,
+                           const SamplePolicy& policy = {},
+                           RunControl* control = nullptr);
+
+}  // namespace bspmv

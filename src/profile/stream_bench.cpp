@@ -18,6 +18,7 @@ double stream_triad_bandwidth(const StreamOptions& opt) {
 
   double best = 0.0;
   for (int t = 0; t < opt.trials + 1; ++t) {  // first pass warms pages
+    if (opt.control) opt.control->check();
     Timer timer;
     double* BSPMV_RESTRICT pa = a.data();
     const double* BSPMV_RESTRICT pb = b.data();
@@ -42,6 +43,7 @@ double stream_read_bandwidth(const StreamOptions& opt) {
   double best = 0.0;
   double sink = 0.0;
   for (int t = 0; t < opt.trials + 1; ++t) {
+    if (opt.control) opt.control->check();
     Timer timer;
     const double* BSPMV_RESTRICT pa = a.data();
     double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;

@@ -9,11 +9,16 @@
 
 #include <cstddef>
 
+#include "src/util/run_control.hpp"
+
 namespace bspmv {
 
 struct StreamOptions {
   std::size_t array_bytes = 64 * 1024 * 1024;  ///< per array; >> LLC
   int trials = 5;                              ///< best-of-k
+  /// Optional deadline/cancellation, polled between trials (one trial is
+  /// a few tens of ms, so aborts land promptly). Non-owning.
+  RunControl* control = nullptr;
 };
 
 /// STREAM triad bandwidth in bytes/second (3 arrays of traffic per pass).

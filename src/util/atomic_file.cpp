@@ -1,0 +1,201 @@
+#include "src/util/atomic_file.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/errors.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define BSPMV_HAVE_POSIX_IO 1
+#else
+#define BSPMV_HAVE_POSIX_IO 0
+#endif
+
+namespace bspmv {
+
+namespace {
+
+constexpr const char* kChecksumPrefix = "#bspmv-crc32:";
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::string checksum_line(std::string_view payload) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", crc32(payload));
+  return std::string(kChecksumPrefix) + buf + "\n";
+}
+
+// The trailer must start its own line or the reader cannot find it.
+std::string with_trailer(const std::string& payload) {
+  std::string body = payload;
+  if (body.empty() || body.back() != '\n') body += '\n';
+  return body + checksum_line(body);
+}
+
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw io_error(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  const auto& table = crc_table();
+  std::uint32_t c = 0xffffffffu;
+  for (unsigned char byte : data)
+    c = table[(c ^ byte) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+#if BSPMV_HAVE_POSIX_IO
+
+void atomic_write_file(const std::string& path, const std::string& payload,
+                       bool with_checksum) {
+  const std::string body = with_checksum ? with_trailer(payload) : payload;
+
+  // Advisory writer lock on the destination so concurrent writers of the
+  // same cache serialise. Best effort: the rename below is atomic anyway.
+  const int lock_fd =
+      ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (lock_fd >= 0) ::flock(lock_fd, LOCK_EX);
+
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd =
+      ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    if (lock_fd >= 0) ::close(lock_fd);
+    fail("cannot create temp file", tmp);
+  }
+
+  const char* p = body.data();
+  std::size_t left = body.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      if (lock_fd >= 0) ::close(lock_fd);
+      fail("write failed for", tmp);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  // Data must be durable before the rename publishes it — otherwise a
+  // crash could expose a renamed-but-empty file, the exact corruption
+  // the checksum exists to catch.
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    if (lock_fd >= 0) ::close(lock_fd);
+    fail("fsync failed for", tmp);
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    if (lock_fd >= 0) ::close(lock_fd);
+    fail("rename failed onto", path);
+  }
+
+  // Persist the rename itself (best effort — some filesystems refuse
+  // directory fsync; the file content is already safe either way).
+  const int dfd = ::open(dir_of(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  if (lock_fd >= 0) {
+    ::flock(lock_fd, LOCK_UN);
+    ::close(lock_fd);
+  }
+}
+
+#else  // fallback for platforms without POSIX fd I/O: plain rename dance
+
+void atomic_write_file(const std::string& path, const std::string& payload,
+                       bool with_checksum) {
+  const std::string body = with_checksum ? with_trailer(payload) : payload;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) throw io_error("cannot create temp file '" + tmp + "'");
+    f << body;
+    f.flush();
+    if (!f) throw io_error("write failed for '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw io_error("rename failed onto '" + path + "'");
+  }
+}
+
+#endif  // BSPMV_HAVE_POSIX_IO
+
+std::optional<std::string> read_file_if_exists(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return std::nullopt;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  if (f.bad()) throw io_error("read failed for '" + path + "'");
+  std::string content = ss.str();
+
+  // Locate a trailing checksum line, if any: the last line (ignoring the
+  // final newline) starting with the marker.
+  std::size_t end = content.size();
+  if (end > 0 && content[end - 1] == '\n') --end;
+  const std::size_t line_start = content.rfind('\n', end == 0 ? 0 : end - 1);
+  const std::size_t begin = line_start == std::string::npos ? 0 : line_start + 1;
+  const std::string_view last(content.data() + begin, end - begin);
+  const std::string_view prefix(kChecksumPrefix);
+  if (last.substr(0, std::min(last.size(), prefix.size())) != prefix)
+    return content;  // no trailer: legacy or externally produced file
+  if (last.size() != prefix.size() + 8)
+    throw io_error("corrupt checksum trailer in '" + path +
+                   "' — file is truncated or corrupted");
+
+  const std::string_view payload(content.data(), begin);
+  std::uint32_t stored = 0;
+  {
+    std::istringstream hex(std::string(last.substr(prefix.size())));
+    hex >> std::hex >> stored;
+    if (hex.fail())
+      throw io_error("corrupt checksum trailer in '" + path + "'");
+  }
+  if (crc32(payload) != stored)
+    throw io_error("checksum mismatch in '" + path +
+                   "' — file is truncated or corrupted");
+  return std::string(payload);
+}
+
+std::string read_file_checked(const std::string& path) {
+  auto content = read_file_if_exists(path);
+  if (!content) throw io_error("cannot open '" + path + "'");
+  return *std::move(content);
+}
+
+}  // namespace bspmv

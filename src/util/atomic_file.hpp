@@ -1,0 +1,48 @@
+// Crash-safe file persistence for the library's cached artifacts
+// (machine_profile.json, sweep_cache.json, RunReport/trajectory output).
+//
+// atomic_write_file implements the classic temp-file protocol: write to
+// a sibling temp file, fsync it, rename() over the destination, fsync
+// the directory — so a crash or kill at any instant leaves either the
+// old complete file or the new complete file, never a truncated hybrid.
+// Writers holding the same destination serialise through an advisory
+// flock on the destination path (best effort; still atomic without it).
+//
+// For artifacts that survive crashes of *other* software (filesystem
+// corruption, partial copies), with_checksum appends one trailing line
+//
+//   #bspmv-crc32:xxxxxxxx
+//
+// over the payload. read_file_checked verifies and strips it; a mismatch
+// throws bspmv::io_error so cache loaders can warn-and-regenerate. Files
+// without the trailer (older writers, hand-edited) are returned as-is.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bspmv {
+
+/// CRC-32 (IEEE 802.3 polynomial) of `data`.
+std::uint32_t crc32(std::string_view data);
+
+/// Atomically replace `path` with `payload` (temp file + fsync + rename
+/// + directory fsync, advisory flock). With `with_checksum`, a trailing
+/// "#bspmv-crc32:xxxxxxxx" line is appended for corruption detection.
+/// Throws bspmv::io_error on any failure; the destination is untouched.
+void atomic_write_file(const std::string& path, const std::string& payload,
+                       bool with_checksum = false);
+
+/// Read `path`; if the content ends with a "#bspmv-crc32:" trailer,
+/// verify it and return the payload with the trailer stripped. Returns
+/// nullopt when the file does not exist (absence is normal for caches).
+/// Throws bspmv::io_error on a checksum mismatch (truncation/corruption)
+/// or an unreadable file.
+std::optional<std::string> read_file_if_exists(const std::string& path);
+
+/// As read_file_if_exists, but a missing file is also an io_error.
+std::string read_file_checked(const std::string& path);
+
+}  // namespace bspmv

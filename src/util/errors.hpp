@@ -9,11 +9,22 @@
 //   ├── invalid_argument_error   caller broke a documented precondition
 //   ├── parse_error              malformed external text (MM files, JSON)
 //   ├── validation_error         a format's structural invariants are broken
-//   └── conversion_error         a format conversion cannot be completed
-//       └── resource_limit_error a ConversionGuard budget was exceeded
-//                                (padding fill blowup, memory cap, index
-//                                width overflow) — the matrix itself is
-//                                fine, only this candidate is infeasible
+//   ├── conversion_error         a format conversion cannot be completed
+//   │   └── resource_limit_error a ConversionGuard budget was exceeded
+//   │                            (padding fill blowup, memory cap, index
+//   │                            width overflow) — the matrix itself is
+//   │                            fine, only this candidate is infeasible
+//   ├── execution_error          a run that started could not finish
+//   │   ├── cancelled_error      cooperative cancellation was honoured
+//   │   └── timeout_error        deadline expired or the watchdog saw a
+//   │                            stalled worker (RunControl)
+//   ├── numerical_error          NaN/Inf/garbage detected by the opt-in
+//   │                            numeric health guards at engine
+//   │                            boundaries, or a nondeterministic output
+//   │                            fingerprint across measurement batches
+//   └── io_error                 a persistence operation failed (cannot
+//                                write, rename, or a trailing-checksum
+//                                corruption check rejected the file)
 #pragma once
 
 #include <stdexcept>
@@ -61,6 +72,44 @@ class conversion_error : public error {
 class resource_limit_error : public conversion_error {
  public:
   using conversion_error::conversion_error;
+};
+
+/// Root of the execution-side failures: a run that started could not run
+/// to completion. The partial output (if any) must be discarded.
+class execution_error : public error {
+ public:
+  using error::error;
+};
+
+/// Thrown when a run observed a cooperative cancellation request
+/// (RunControl::request_cancel) and unwound. Not an error of the input —
+/// retrying the same run is legal.
+class cancelled_error : public execution_error {
+ public:
+  using execution_error::execution_error;
+};
+
+/// Thrown when a RunControl deadline expired or the watchdog detected a
+/// stalled worker (no per-thread progress within the stall timeout).
+class timeout_error : public execution_error {
+ public:
+  using execution_error::execution_error;
+};
+
+/// Thrown by the numeric health guards: a NaN/Inf in an input or output
+/// vector at an engine boundary, or a measurement whose output
+/// fingerprint changed between batches (nondeterminism/corruption).
+class numerical_error : public error {
+ public:
+  using error::error;
+};
+
+/// Thrown when persistence fails: a file cannot be written/renamed, or a
+/// trailing-checksum corruption check rejected its content. Cache
+/// loaders treat this as "warn and regenerate", never as fatal.
+class io_error : public error {
+ public:
+  using error::error;
 };
 
 }  // namespace bspmv

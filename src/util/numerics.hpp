@@ -1,0 +1,65 @@
+// Numeric health guards — opt-in NaN/Inf scans of the engine's input and
+// output vectors plus the cheap output fingerprint used by the resilient
+// measurement loop.
+//
+// The guards never run on the kernel hot path: SpmvEngine scans x once
+// before a measurement and y once per batch boundary, so a poisoned
+// input (NaN propagated through eq. y = A·x turns the whole output NaN)
+// or a nondeterministic run surfaces as a typed bspmv::numerical_error
+// instead of silently corrupting t_b / nof_b model inputs downstream.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "src/util/errors.hpp"
+
+namespace bspmv {
+
+/// Number of non-finite (NaN or ±Inf) entries in v[0..n).
+template <class V>
+std::size_t count_nonfinite(const V* v, std::size_t n) {
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (!std::isfinite(static_cast<double>(v[i]))) ++bad;
+  return bad;
+}
+
+/// Throw numerical_error naming `what` and the first offending index if
+/// any entry of v[0..n) is NaN or ±Inf.
+template <class V>
+void check_finite(const char* what, const V* v, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(static_cast<double>(v[i]))) {
+      std::ostringstream os;
+      os << what << ": non-finite value " << static_cast<double>(v[i])
+         << " at index " << i << " (" << count_nonfinite(v, n) << " of " << n
+         << " entries non-finite)";
+      throw numerical_error(os.str());
+    }
+  }
+}
+
+/// FNV-1a over the raw bit pattern of v[0..n). Deterministic kernels on
+/// identical inputs must reproduce this exactly — the measurement loop
+/// compares batches against the first batch's fingerprint to catch data
+/// races and memory corruption that still produce finite numbers.
+template <class V>
+std::uint64_t bits_fingerprint(const V* v, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v[i], sizeof(V));
+    for (std::size_t b = 0; b < sizeof(V); ++b) {
+      h ^= (bits >> (8 * b)) & 0xffull;
+      h *= 0x100000001b3ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace bspmv

@@ -1,0 +1,167 @@
+#include "src/util/run_control.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "src/util/macros.hpp"
+
+namespace bspmv {
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+thread_local RunControl* g_current = nullptr;
+
+}  // namespace
+
+const char* abort_reason_name(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone: return "none";
+    case AbortReason::kCancelled: return "cancelled";
+    case AbortReason::kDeadline: return "deadline";
+    case AbortReason::kStalled: return "stalled";
+  }
+  return "?";
+}
+
+void RunControl::set_deadline(double seconds) {
+  BSPMV_CHECK_MSG(seconds > 0, "deadline must be positive");
+  deadline_ns_.store(
+      steady_now_ns() + static_cast<std::int64_t>(seconds * 1e9),
+      std::memory_order_relaxed);
+}
+
+double RunControl::remaining_seconds() const {
+  const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+  if (d == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(d - steady_now_ns()) * 1e-9;
+}
+
+void RunControl::abort(AbortReason r, const std::string& why) {
+  int expected = static_cast<int>(AbortReason::kNone);
+  // First abort wins; the stop flag is released after the reason/message
+  // so a thread that sees stop also sees a consistent outcome.
+  if (!reason_.compare_exchange_strong(expected, static_cast<int>(r),
+                                       std::memory_order_acq_rel))
+    return;
+  {
+    std::lock_guard<std::mutex> lock(msg_mu_);
+    msg_ = why;
+  }
+  stop_.store(true, std::memory_order_release);
+}
+
+void RunControl::check() {
+  if (!stop_.load(std::memory_order_relaxed)) {
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d != 0 && steady_now_ns() > d) {
+      abort(AbortReason::kDeadline, "run deadline expired");
+    } else {
+      return;
+    }
+  }
+  throw_if_aborted();
+}
+
+void RunControl::throw_if_aborted() const {
+  switch (reason()) {
+    case AbortReason::kNone:
+      return;
+    case AbortReason::kCancelled:
+      throw cancelled_error("run cancelled: " + message());
+    case AbortReason::kDeadline:
+      throw timeout_error("run timed out: " + message());
+    case AbortReason::kStalled:
+      throw timeout_error("run stalled: " + message());
+  }
+}
+
+std::uint64_t RunControl::total_beats() const {
+  std::uint64_t sum = 0;
+  for (const auto& b : beats_) sum += b.load(std::memory_order_relaxed);
+  return sum;
+}
+
+std::string RunControl::message() const {
+  std::lock_guard<std::mutex> lock(msg_mu_);
+  return msg_;
+}
+
+RunControl* RunControl::current() { return g_current; }
+
+RunControl::ScopedCurrent::ScopedCurrent(RunControl* rc) : prev_(g_current) {
+  g_current = rc;
+}
+
+RunControl::ScopedCurrent::~ScopedCurrent() { g_current = prev_; }
+
+// ------------------------------------------------------------ watchdog ----
+
+Watchdog::Watchdog(RunControl& control, double poll_seconds)
+    : control_(&control), poll_seconds_(poll_seconds) {
+  BSPMV_CHECK_MSG(poll_seconds > 0, "watchdog poll interval must be positive");
+  // Nothing to monitor: spawning a thread would be pure overhead.
+  if (!control.has_deadline() && control.stall_timeout() <= 0) return;
+  thread_ = std::thread([this] { loop(); });
+}
+
+Watchdog::~Watchdog() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    quit_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void Watchdog::loop() {
+  const double stall = control_->stall_timeout();
+  std::uint64_t last_total = control_->total_beats();
+  auto last_change = std::chrono::steady_clock::now();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // Keep polling faster than both budgets so detection lands well
+    // within the "2x the deadline" bound the fault tests assert.
+    double wait = poll_seconds_;
+    if (stall > 0) wait = std::min(wait, stall / 4);
+    const double remaining = control_->remaining_seconds();
+    if (std::isfinite(remaining) && remaining > 0)
+      wait = std::min(wait, remaining / 2 + 1e-4);
+    if (cv_.wait_for(lock, std::chrono::duration<double>(
+                               std::max(wait, 1e-4)),
+                     [this] { return quit_; }))
+      return;
+    if (control_->stop_requested()) continue;  // outcome already decided
+
+    if (control_->has_deadline() && control_->remaining_seconds() <= 0) {
+      control_->abort(AbortReason::kDeadline, "watchdog: deadline expired");
+      continue;
+    }
+    if (stall > 0) {
+      const std::uint64_t total = control_->total_beats();
+      const auto now = std::chrono::steady_clock::now();
+      if (total != last_total) {
+        last_total = total;
+        last_change = now;
+      } else if (std::chrono::duration<double>(now - last_change).count() >=
+                 stall) {
+        std::ostringstream os;
+        os << "watchdog: no per-thread progress for " << stall
+           << " s (total heartbeats stuck at " << total
+           << ") — a worker appears stalled";
+        control_->abort(AbortReason::kStalled, os.str());
+      }
+    }
+  }
+}
+
+}  // namespace bspmv

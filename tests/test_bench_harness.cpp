@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #include "bench/harness.hpp"
 #include "tests/test_helpers.hpp"
@@ -102,6 +103,35 @@ TEST(SweepCacheTest, CorruptFileIsIgnoredNotFatal) {
   c.save();  // must be able to overwrite the corrupt file
   SweepCache c2(path, false);
   EXPECT_DOUBLE_EQ(*c2.get("k"), 2.0);
+  std::remove(path.c_str());
+}
+
+TEST(SweepCacheTest, TornWriteIsDetectedByChecksumAndIgnored) {
+  const std::string path = ::testing::TempDir() + "/bspmv_sweep_torn.json";
+  std::remove(path.c_str());
+  {
+    SweepCache c(path, false);
+    c.put("a/b", 3.5e-3);
+    c.save();
+  }
+  // Simulate a kill mid-write with no atomic protocol: truncate the
+  // saved (checksummed) file so the trailer no longer matches.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string raw((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    ASSERT_NE(raw.find("#bspmv-crc32:"), std::string::npos);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << raw.substr(0, raw.size() / 2);
+  }
+  // The torn cache must be detected (checksum mismatch), warned about and
+  // discarded — the bench re-measures instead of using half a cache.
+  SweepCache c(path, false);
+  EXPECT_FALSE(c.get("a/b").has_value());
+  c.put("a/b", 4.5e-3);
+  c.save();
+  SweepCache c2(path, false);
+  EXPECT_DOUBLE_EQ(*c2.get("a/b"), 4.5e-3);
   std::remove(path.c_str());
 }
 

@@ -3,6 +3,7 @@
 // non-parallel rejection.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "src/core/engine.hpp"
@@ -126,6 +127,56 @@ TEST(SpmvEngine, RankedPrepareKeepsTheAuditTrail) {
   expect_vectors_near(y.data(), yref.data(), 30, "ranked prepare");
 }
 
+TEST(SpmvEngine, SetThreadsRollsBackWhenReplanFails) {
+  const Csr<double> a =
+      Csr<double>::from_coo(random_coo<double>(36, 36, 0.2, 51));
+  const Candidate vbl{FormatKind::kVbl, BlockShape{1, 1}, 0, Impl::kScalar};
+  auto engine = SpmvEngine<double>::prepare(a, vbl);
+  const auto x = random_x<double>(36, 52);
+  aligned_vector<double> yref(36, 0.0);
+  spmv(a, x.data(), yref.data());
+
+  // The failed replan must not poison the engine: threads() stays 0 and
+  // the plain plan keeps running correctly (strong guarantee).
+  EXPECT_THROW(engine.set_threads(2), invalid_argument_error);
+  EXPECT_EQ(engine.threads(), 0);
+  aligned_vector<double> y(36, -1.0);
+  engine.run(x.data(), y.data());
+  expect_vectors_near(y.data(), yref.data(), 36, "after failed replan");
+
+  // Repeated failures and an explicit no-op 0 must behave the same.
+  EXPECT_THROW(engine.set_threads(7), invalid_argument_error);
+  engine.set_threads(0);
+  EXPECT_EQ(engine.threads(), 0);
+}
+
+TEST(SpmvEngine, CsrFallbackEngineReplansAcrossThreadCounts) {
+  const Coo<double> coo = random_coo<double>(48, 48, 0.15, 53);
+  const auto a = Csr<double>::from_coo(coo);
+  // Starve every blocked candidate so prepare degrades to scalar CSR.
+  ConversionLimits tight;
+  tight.max_fill_ratio = 1.0 - 1e-9;
+  ConversionGuard::Scope scope(tight);
+  auto engine = SpmvEngine<double>::prepare(
+      a, std::vector<Candidate>{bcsr_candidate(4, 4), bcsr_candidate(2, 2)});
+  ASSERT_NE(engine.prepared(), nullptr);
+  ASSERT_TRUE(engine.prepared()->fallback);
+
+  const auto x = random_x<double>(48, 54);
+  aligned_vector<double> yref(48, 0.0);
+  spmv(a, x.data(), yref.data());
+  // The fallback format is CSR, which is parallelisable — replanning the
+  // degraded engine across thread counts (0 included) must keep working.
+  for (int t : {2, 0, 3, 1, 0}) {
+    engine.set_threads(t);
+    EXPECT_EQ(engine.threads(), t);
+    aligned_vector<double> y(48, -1.0);
+    engine.run(x.data(), y.data());
+    expect_vectors_near(y.data(), yref.data(), 48,
+                        "fallback threads=" + std::to_string(t));
+  }
+}
+
 TEST(SpmvEngine, MeasureReturnsPositiveSeconds) {
   const Csr<double> a =
       Csr<double>::from_coo(random_coo<double>(32, 32, 0.2, 43));
@@ -139,6 +190,94 @@ TEST(SpmvEngine, MeasureReturnsPositiveSeconds) {
   const auto threaded = SpmvEngine<double>::prepare(
       a, Candidate{FormatKind::kCsr, BlockShape{1, 1}, 0, Impl::kScalar}, 2);
   EXPECT_GT(threaded.measure(opt), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Resilience rails: deadline, cancellation, numeric guards
+// ---------------------------------------------------------------------
+
+TEST(SpmvEngine, MeasureThrowsTimeoutOnExpiredDeadline) {
+  const Csr<double> a =
+      Csr<double>::from_coo(random_coo<double>(64, 64, 0.1, 61));
+  for (int threads : {0, 2}) {
+    const auto engine = SpmvEngine<double>::prepare(
+        a, Candidate{FormatKind::kCsr, BlockShape{1, 1}, 0, Impl::kScalar},
+        threads);
+    RunControl rc;
+    rc.set_deadline(1e-6);  // expires before the first iteration edge
+    MeasureOptions opt;
+    opt.iterations = 1000;
+    opt.reps = 1000;
+    opt.control = &rc;
+    EXPECT_THROW((void)engine.measure(opt), timeout_error)
+        << "threads=" << threads;
+    EXPECT_EQ(rc.reason(), AbortReason::kDeadline);
+  }
+}
+
+TEST(SpmvEngine, MeasureThrowsCancelledOnPreCancelledControl) {
+  const Csr<double> a =
+      Csr<double>::from_coo(random_coo<double>(32, 32, 0.2, 62));
+  const auto engine = SpmvEngine<double>::prepare(
+      a, Candidate{FormatKind::kCsr, BlockShape{1, 1}, 0, Impl::kScalar}, 2);
+  RunControl rc;
+  rc.request_cancel("test cancel");
+  MeasureOptions opt;
+  opt.iterations = 2;
+  opt.reps = 1;
+  opt.control = &rc;
+  EXPECT_THROW((void)engine.measure(opt), cancelled_error);
+}
+
+TEST(SpmvEngine, MeasureWithNumericGuardPassesOnCleanMatrix) {
+  const Csr<double> a =
+      Csr<double>::from_coo(random_blocky_coo<double>(40, 40, 2, 0.3, 0.8, 63));
+  for (int threads : {0, 2}) {
+    const auto engine =
+        SpmvEngine<double>::prepare(a, bcsr_candidate(2, 2), threads);
+    MeasureOptions opt;
+    opt.iterations = 2;
+    opt.reps = 2;
+    opt.warmup = 0;  // the guard must force its own reference run
+    opt.check_numerics = true;
+    EXPECT_GT(engine.measure(opt), 0.0) << "threads=" << threads;
+  }
+}
+
+TEST(SpmvEngine, MeasureWithNumericGuardCatchesNaNMatrix) {
+  // A NaN stored value propagates into y; the post-warmup scan must turn
+  // that into numerical_error instead of a silently poisoned timing.
+  Coo<double> coo(16, 16);
+  for (index_t i = 0; i < 16; ++i) coo.add(i, i, 1.0);
+  coo.add(3, 7, std::numeric_limits<double>::quiet_NaN());
+  const auto a = Csr<double>::from_coo(coo);
+  const auto engine = SpmvEngine<double>::prepare(
+      a, Candidate{FormatKind::kCsr, BlockShape{1, 1}, 0, Impl::kScalar});
+  MeasureOptions opt;
+  opt.iterations = 1;
+  opt.reps = 1;
+  opt.check_numerics = true;
+  EXPECT_THROW((void)engine.measure(opt), numerical_error);
+}
+
+TEST(SpmvEngine, GuardedRunChecksInputAndOutput) {
+  const Csr<double> a =
+      Csr<double>::from_coo(random_coo<double>(24, 24, 0.25, 64));
+  const auto engine = SpmvEngine<double>::prepare(
+      a, Candidate{FormatKind::kCsr, BlockShape{1, 1}, 0, Impl::kScalar});
+  auto x = random_x<double>(24, 65);
+  aligned_vector<double> y(24, 0.0);
+  EXPECT_NO_THROW(engine.run(x.data(), y.data(), nullptr, true));
+
+  x[11] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(engine.run(x.data(), y.data(), nullptr, true),
+               numerical_error);
+
+  // And a cancelled control turns the guarded run into cancelled_error.
+  x[11] = 0.5;
+  RunControl rc;
+  rc.request_cancel();
+  EXPECT_THROW(engine.run(x.data(), y.data(), &rc, false), cancelled_error);
 }
 
 }  // namespace

@@ -6,11 +6,16 @@
 // or silently wrong answer.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
+#include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 
+#include "src/core/engine.hpp"
 #include "src/core/selector.hpp"
 #include "src/formats/bcsr.hpp"
 #include "src/formats/conversion_guard.hpp"
@@ -273,6 +278,204 @@ TEST(FaultInjection, EveryConvertedCandidateValidatesAndRuns) {
         coo, [&](const double* x, double* y) { f->run(x, y); }, c.id());
   }
   EXPECT_GT(converted, 50);
+}
+
+// ---------------------------------------------------------------------
+// Execution faults: stalled workers, mid-run cancellation, poisoned
+// vectors. StallCsr is a CSR wrapper whose first granule range wedges
+// (cooperatively — it polls the ambient RunControl, like a kernel stuck
+// on a slow NUMA page would eventually be released by process death)
+// so the watchdog's aggregate-progress detection can be exercised
+// through the real ThreadedSpmv + measure_guarded pipeline.
+// ---------------------------------------------------------------------
+
+}  // namespace
+
+template <class V>
+class StallCsr {
+ public:
+  explicit StallCsr(Csr<V> a) : a_(std::move(a)) {}
+  const Csr<V>& inner() const { return a_; }
+  index_t rows() const { return a_.rows(); }
+  index_t cols() const { return a_.cols(); }
+
+ private:
+  Csr<V> a_;
+};
+
+template <class V>
+struct FormatOps<StallCsr<V>> {
+  using value_type = V;
+  static constexpr FormatKind kKind = FormatKind::kCsr;  // never registered
+  static constexpr const char* kName = "stall_csr";
+  static constexpr bool kParallel = true;
+  static constexpr int kPasses = 1;
+
+  static std::vector<std::size_t> pass_weights(const StallCsr<V>& a, int) {
+    return std::vector<std::size_t>(static_cast<std::size_t>(a.rows()), 1);
+  }
+  static index_t pass_first_row(const StallCsr<V>&, int, index_t g) {
+    return g;
+  }
+  static void pass_run(const StallCsr<V>& a, int, index_t g0, index_t g1,
+                       const V* x, V* y, Impl) {
+    if (g0 == 0) {
+      // The injected stall: wedge until the run is aborted. Polling the
+      // ambient control keeps the test process killable; the watchdog
+      // must fire from the OUTSIDE (zero aggregate heartbeats), since a
+      // stalled worker by definition never reports in.
+      RunControl* rc = RunControl::current();
+      while (rc != nullptr && !rc->stop_requested())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (rc != nullptr) return;  // aborted: y is indeterminate, fine
+    }
+    for (index_t i = g0; i < g1; ++i) {
+      V acc{};
+      for (index_t k = a.inner().row_ptr()[static_cast<std::size_t>(i)];
+           k < a.inner().row_ptr()[static_cast<std::size_t>(i) + 1]; ++k)
+        acc += a.inner().val()[static_cast<std::size_t>(k)] *
+               x[a.inner().col_ind()[static_cast<std::size_t>(k)]];
+      y[i] += acc;
+    }
+  }
+};
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+TEST(FaultInjection, StalledWorkerIsAbortedByStallWatchdog) {
+  const auto a =
+      Csr<double>::from_coo(random_coo<double>(1024, 1024, 0.01, 71));
+  const StallCsr<double> m(a);
+  const ThreadedSpmv<StallCsr<double>> driver(m, 2);
+
+  RunControl rc;
+  rc.set_stall_timeout(0.05);
+  MeasureOptions opt;
+  opt.iterations = 1;
+  opt.reps = 1;
+  opt.warmup = 0;
+  opt.control = &rc;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)detail::measure_guarded<double>(
+                   a.rows(), a.cols(), opt,
+                   [&](const double* x, double* y) {
+                     driver.run(x, y, Impl::kScalar, &rc);
+                   }),
+               timeout_error);
+  EXPECT_EQ(rc.reason(), AbortReason::kStalled);
+  EXPECT_LT(seconds_since(t0), 2.0);  // detection, not a hang
+}
+
+TEST(FaultInjection, StalledWorkerIsAbortedByDeadlineWithinTwiceTheBudget) {
+  const auto a =
+      Csr<double>::from_coo(random_coo<double>(1024, 1024, 0.01, 72));
+  const StallCsr<double> m(a);
+  const ThreadedSpmv<StallCsr<double>> driver(m, 2);
+
+  const double deadline = 0.1;
+  RunControl rc;
+  rc.set_deadline(deadline);
+  MeasureOptions opt;
+  opt.iterations = 1;
+  opt.reps = 1;
+  opt.warmup = 0;
+  opt.control = &rc;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)detail::measure_guarded<double>(
+                   a.rows(), a.cols(), opt,
+                   [&](const double* x, double* y) {
+                     driver.run(x, y, Impl::kScalar, &rc);
+                   }),
+               timeout_error);
+  EXPECT_EQ(rc.reason(), AbortReason::kDeadline);
+  EXPECT_LT(seconds_since(t0), 2 * deadline);
+}
+
+TEST(FaultInjection, MidRunCancellationUnwindsThreadedMeasure) {
+  const auto a =
+      Csr<double>::from_coo(random_coo<double>(256, 256, 0.05, 73));
+  const auto engine = SpmvEngine<double>::prepare(
+      a, Candidate{FormatKind::kCsr, BlockShape{1, 1}, 0, Impl::kScalar}, 2);
+
+  RunControl rc;
+  MeasureOptions opt;
+  opt.iterations = 500;
+  opt.reps = 100000;  // would run for minutes — cancellation must cut in
+  opt.control = &rc;
+
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    rc.request_cancel("injected mid-run cancel");
+  });
+  EXPECT_THROW((void)engine.measure(opt), cancelled_error);
+  canceller.join();
+  EXPECT_EQ(rc.reason(), AbortReason::kCancelled);
+}
+
+TEST(FaultInjection, InjectedNaNInputIsCaughtAtTheEngineBoundary) {
+  const auto a =
+      Csr<double>::from_coo(random_coo<double>(64, 64, 0.1, 74));
+  const auto engine = SpmvEngine<double>::prepare(
+      a, Candidate{FormatKind::kCsr, BlockShape{1, 1}, 0, Impl::kScalar}, 2);
+  auto x = bspmv::testing::random_x<double>(64, 75);
+  aligned_vector<double> y(64, 0.0);
+  EXPECT_NO_THROW(engine.run(x.data(), y.data(), nullptr, true));
+  x[40] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(engine.run(x.data(), y.data(), nullptr, true),
+               numerical_error);
+}
+
+// ---------------------------------------------------------------------
+// Crash-safe persistence: the machine profile is written atomically with
+// a trailing checksum, so a kill mid-write (simulated by truncation)
+// is detected and answered with warn-and-regenerate, never a crash or a
+// silently half-loaded profile.
+// ---------------------------------------------------------------------
+
+TEST(FaultInjection, TornProfileWriteIsDetectedAndRegenerated) {
+  const MachineProfile profile = synthetic_profile();
+  const TempFile file("fault_injection_torn_profile.json");
+  profile.save(file.path());
+
+  std::string raw;
+  {
+    std::ifstream f(file.path(), std::ios::binary);
+    raw.assign((std::istreambuf_iterator<char>(f)),
+               std::istreambuf_iterator<char>());
+  }
+  ASSERT_NE(raw.find("#bspmv-crc32:"), std::string::npos);
+
+  // Every truncation point must yield either a typed refusal (load) and
+  // a nullopt (try_load) — never an escape or a half-parsed profile.
+  for (const std::size_t keep :
+       {raw.size() - 3, raw.size() / 2, std::size_t{7}}) {
+    file.write(raw.substr(0, keep));
+    EXPECT_THROW((void)MachineProfile::load(file.path()), error)
+        << "keep=" << keep;
+    EXPECT_FALSE(MachineProfile::try_load(file.path()).has_value())
+        << "keep=" << keep;
+  }
+
+  // A flipped payload bit is caught by the checksum even though the JSON
+  // may still parse.
+  std::string flipped = raw;
+  flipped[raw.find("bandwidth") + 1] ^= 0x1;
+  file.write(flipped);
+  EXPECT_THROW((void)MachineProfile::load(file.path()), io_error);
+  EXPECT_FALSE(MachineProfile::try_load(file.path()).has_value());
+
+  // And the regenerate path: save over the corpse, load round-trips.
+  profile.save(file.path());
+  const auto reloaded = MachineProfile::try_load(file.path());
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_DOUBLE_EQ(reloaded->bandwidth_bps, profile.bandwidth_bps);
 }
 
 }  // namespace
