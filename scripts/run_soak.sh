@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Chaos soak for the serving daemon: run bspmv_serve (optionally under
+# ASan), storm it with concurrent well-formed load AND hostile traffic
+# (malformed frames, truncated writes, absurd declared lengths, random
+# disconnects), kill -9 it mid-flight, restart it and verify the spool
+# recovers the cached matrix — all while watching RSS stay bounded.
+#
+# Pass criteria:
+#   - the daemon never crashes under chaos (only typed error replies)
+#   - at least one request succeeded during the storm
+#   - peak daemon RSS stays under $RSS_LIMIT_MB
+#   - after kill -9 + restart, a spmv against the pre-kill fingerprint
+#     succeeds straight from the spool (no resubmit)
+#
+# Usage: scripts/run_soak.sh [duration-seconds] (default 60)
+# Env:   BUILD_DIR     build tree to use       (default repo/build)
+#        RSS_LIMIT_MB  peak RSS bound          (default 2048)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+duration="${1:-60}"
+rss_limit_mb="${RSS_LIMIT_MB:-2048}"
+
+serve="$build_dir/tools/bspmv_serve"
+client="$build_dir/tools/bspmv_client"
+[ -x "$serve" ] && [ -x "$client" ] || {
+  echo "soak: build tools first (cmake --build $build_dir)" >&2
+  exit 1
+}
+
+work="$(mktemp -d /tmp/bspmv_soak.XXXXXX)"
+sock="$work/serve.sock"
+spool="$work/spool"
+trap 'kill -9 "${serve_pid:-0}" 2>/dev/null || true; rm -rf "$work"' EXIT
+
+start_daemon() {
+  "$serve" --socket "$sock" --spool-dir "$spool" --workers 4 \
+           --queue 32 --cache-mb 128 2>>"$work/serve.log" &
+  serve_pid=$!
+  for _ in $(seq 1 100); do
+    [ -S "$sock" ] && "$client" --socket "$sock" --mode ping \
+        >/dev/null 2>&1 && return 0
+    kill -0 "$serve_pid" 2>/dev/null || {
+      echo "soak: daemon died on startup"; cat "$work/serve.log"; exit 1; }
+    sleep 0.1
+  done
+  echo "soak: daemon never came up" >&2
+  exit 1
+}
+
+peak_rss_kb=0
+watch_rss() {
+  while kill -0 "$serve_pid" 2>/dev/null; do
+    rss=$(awk '/VmRSS/{print $2}' "/proc/$serve_pid/status" 2>/dev/null || echo 0)
+    [ "${rss:-0}" -gt "$peak_rss_kb" ] && peak_rss_kb=$rss
+    echo "$peak_rss_kb" > "$work/peak_rss_kb"
+    sleep 0.5
+  done
+}
+
+echo "== soak: starting daemon (${duration}s chaos) =="
+start_daemon
+watch_rss &
+rss_watcher=$!
+
+half=$(( duration / 2 ))
+[ "$half" -lt 5 ] && half=5
+
+echo "== soak: phase 1 — chaos storm (${half}s) =="
+"$client" --socket "$sock" --mode chaos --seconds "$half" --threads 4 \
+    --n 2048 > "$work/chaos1.json"
+kill -0 "$serve_pid" 2>/dev/null || {
+  echo "soak: FAIL — daemon died under chaos"; cat "$work/serve.log"; exit 1; }
+
+fingerprint_ok=$(python3 - "$work/chaos1.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+print(r["ok"])
+EOF
+)
+[ "$fingerprint_ok" -gt 0 ] || { echo "soak: FAIL — no request succeeded"; exit 1; }
+
+echo "== soak: phase 2 — kill -9 mid-flight, restart, spool recovery =="
+"$client" --socket "$sock" --mode load --seconds 3 --threads 2 --n 2048 \
+    > /dev/null &
+storm_pid=$!
+sleep 1
+kill -9 "$serve_pid"
+wait "$storm_pid" 2>/dev/null || true   # clients may see io errors: fine
+wait "$rss_watcher" 2>/dev/null || true
+
+start_daemon
+watch_rss &
+rss_watcher=$!
+# Probe first: a bare spmv against the pre-kill fingerprint WITHOUT a
+# resubmit. Only a daemon that recovered the engine from the spool can
+# answer it; a spool-less restart replies unknown_matrix (exit 9).
+"$client" --socket "$sock" --mode probe --n 2048 > "$work/probe.json" || {
+  echo "soak: FAIL — restarted daemon did not recover from the spool"
+  cat "$work/serve.log"; exit 1; }
+"$client" --socket "$sock" --mode load --seconds "$half" --threads 4 \
+    --n 2048 > "$work/chaos2.json"
+kill -0 "$serve_pid" 2>/dev/null || {
+  echo "soak: FAIL — restarted daemon died"; cat "$work/serve.log"; exit 1; }
+spool_loads=$("$client" --socket "$sock" --mode stats \
+  | python3 -c 'import json,sys; print(json.load(sys.stdin)["spool"]["loads"])')
+
+"$client" --socket "$sock" --mode shutdown || true
+wait "$serve_pid" 2>/dev/null || true
+wait "$rss_watcher" 2>/dev/null || true
+
+peak_mb=$(( $(cat "$work/peak_rss_kb" 2>/dev/null || echo 0) / 1024 ))
+echo "== soak: peak daemon RSS ${peak_mb} MiB (limit ${rss_limit_mb}) =="
+[ "$peak_mb" -le "$rss_limit_mb" ] || {
+  echo "soak: FAIL — RSS exceeded the bound"; exit 1; }
+
+echo "== soak: spool recoveries after restart: $spool_loads =="
+[ "$spool_loads" -gt 0 ] || {
+  echo "soak: FAIL — restart did not recover from the spool"; exit 1; }
+
+echo "== soak: PASS =="

@@ -1,26 +1,62 @@
 #include "src/formats/conversion_guard.hpp"
 
+#include <cstdio>
+#include <cstdlib>
 #include <limits>
+#include <optional>
 #include <sstream>
 
 namespace bspmv {
 
 namespace {
-ConversionLimits g_limits;
+
+/// Parse a strictly positive double from env var `name`, or nullopt when
+/// unset; malformed values warn once on stderr and are ignored (a typo in
+/// a deployment must not silently disable the guard).
+std::optional<double> env_positive(const char* name) {
+  const char* s = std::getenv(name);
+  if (!s || !*s) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || !(v > 0)) {
+    std::fprintf(stderr,
+                 "bspmv: ignoring %s='%s' (want a positive number)\n", name,
+                 s);
+    return std::nullopt;
+  }
+  return v;
+}
+
+/// Lazily initialised from the environment on first use; set_limits
+/// replaces it wholesale (API wins over environment, see the header).
+ConversionLimits& global_limits() {
+  static ConversionLimits limits = ConversionLimits::from_env();
+  return limits;
+}
+
 }  // namespace
 
-const ConversionLimits& ConversionGuard::limits() { return g_limits; }
+ConversionLimits ConversionLimits::from_env() {
+  ConversionLimits l = defaults();
+  if (const auto mb = env_positive("BSPMV_CONVERT_MAX_MB"))
+    l.max_bytes = static_cast<std::size_t>(*mb * (std::size_t{1} << 20));
+  if (const auto fill = env_positive("BSPMV_CONVERT_MAX_FILL"))
+    l.max_fill_ratio = *fill;
+  return l;
+}
+
+const ConversionLimits& ConversionGuard::limits() { return global_limits(); }
 
 ConversionLimits ConversionGuard::set_limits(const ConversionLimits& l) {
-  ConversionLimits prev = g_limits;
-  g_limits = l;
+  ConversionLimits prev = global_limits();
+  global_limits() = l;
   return prev;
 }
 
 void ConversionGuard::check(const char* format, std::size_t stored_elems,
                             std::size_t nnz, std::size_t elem_bytes,
                             std::size_t index_bytes) {
-  const ConversionLimits& lim = g_limits;
+  const ConversionLimits& lim = global_limits();
 
   // Byte budget, overflow-safe: stored_elems * elem_bytes must neither
   // wrap nor exceed the cap once index arrays are added.

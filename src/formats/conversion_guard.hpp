@@ -17,6 +17,17 @@
 namespace bspmv {
 
 /// Budgets enforced on each individual conversion.
+///
+/// Three layers compose, strongest last (documented in docs/robustness.md
+/// and docs/serving.md):
+///   1. compile-time defaults (`defaults()`),
+///   2. environment overrides read once at first use (`from_env()`:
+///      BSPMV_CONVERT_MAX_MB caps max_bytes in MiB, BSPMV_CONVERT_MAX_FILL
+///      caps max_fill_ratio — malformed values warn on stderr and are
+///      ignored),
+///   3. runtime API (`set_limits` / `Scope`), which always wins — the
+///      serving daemon uses it so its engine-cache byte budget and the
+///      per-conversion budget compose instead of fighting.
 struct ConversionLimits {
   /// Upper bound on the bytes of matrix arrays a single conversion may
   /// allocate. The default is far above any realistic working set: its
@@ -29,11 +40,21 @@ struct ConversionLimits {
   /// block holding a single nonzero), so the default never trips the
   /// paper's candidate set; services cap it far lower via Scope.
   double max_fill_ratio = 1024.0;
+
+  /// The compile-time defaults, untouched by the environment.
+  static ConversionLimits defaults() { return {}; }
+
+  /// defaults() with the BSPMV_CONVERT_MAX_MB / BSPMV_CONVERT_MAX_FILL
+  /// environment overrides applied (invalid values warn and are ignored).
+  static ConversionLimits from_env();
 };
 
 class ConversionGuard {
  public:
-  /// The limits every conversion currently enforces.
+  /// The limits every conversion currently enforces. On first use they
+  /// are initialised from ConversionLimits::from_env(), so deployments
+  /// can cap conversions without an API call; any set_limits/Scope call
+  /// overrides the environment for its duration.
   static const ConversionLimits& limits();
 
   /// Replace the process-wide limits; returns the previous ones. Not

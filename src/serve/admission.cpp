@@ -1,0 +1,118 @@
+#include "src/serve/admission.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "src/observe/observe.hpp"
+
+namespace bspmv::serve {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+
+// Shed callbacks are always invoked *after* mu_ is released — they write
+// to sockets, and holding the queue lock across a socket write would
+// stall every other producer.
+bool AdmissionQueue::push(Job j) {
+  std::function<void(const std::string&)> shed_cb;
+  std::string shed_why;
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      shed_cb = std::move(j.shed);
+      shed_why = "server shutting down";
+      ++shed_;
+      BSPMV_OBS_COUNT("serve.shed", 1);
+    } else if (items_.size() < capacity_) {
+      items_.insert(Item{std::move(j), next_seq_++});
+      admitted = true;
+    } else {
+      // Full. The set is ordered best-first, so the worst queued job is
+      // the last element; shed whichever of {it, the incoming job} ranks
+      // lower. An incoming job only displaces strictly lower priority —
+      // ties favour the work already queued (no churn under a uniform
+      // flood).
+      auto worst = std::prev(items_.end());
+      if (j.priority > worst->job.priority) {
+        Item displaced = std::move(const_cast<Item&>(*worst));
+        items_.erase(worst);
+        shed_cb = std::move(displaced.job.shed);
+        shed_why = "queue full: displaced by higher-priority work";
+        ++shed_;
+        BSPMV_OBS_COUNT("serve.shed", 1);
+        items_.insert(Item{std::move(j), next_seq_++});
+        admitted = true;
+      } else {
+        shed_cb = std::move(j.shed);
+        shed_why = "queue full";
+        ++shed_;
+        BSPMV_OBS_COUNT("serve.shed", 1);
+      }
+    }
+  }
+  if (admitted) cv_.notify_one();
+  if (shed_cb) shed_cb(shed_why);
+  return admitted;
+}
+
+std::optional<Job> AdmissionQueue::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (shutdown_) return std::nullopt;
+    const double now = steady_seconds();
+    double nearest = 0.0;
+    bool have_deferred = false;
+    for (auto it = items_.begin(); it != items_.end(); ++it) {
+      if (it->job.not_before <= now) {
+        Job j = std::move(const_cast<Item&>(*it).job);
+        items_.erase(it);
+        return j;
+      }
+      if (!have_deferred || it->job.not_before < nearest)
+        nearest = it->job.not_before;
+      have_deferred = true;
+    }
+    if (have_deferred) {
+      cv_.wait_for(lock, std::chrono::duration<double>(
+                             std::max(nearest - now, 1e-4)));
+    } else {
+      cv_.wait(lock);
+    }
+  }
+}
+
+void AdmissionQueue::shutdown() {
+  std::vector<std::function<void(const std::string&)>> to_shed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    for (auto it = items_.begin(); it != items_.end(); ++it) {
+      auto& item = const_cast<Item&>(*it);
+      if (item.job.shed) to_shed.push_back(std::move(item.job.shed));
+      ++shed_;
+      BSPMV_OBS_COUNT("serve.shed", 1);
+    }
+    items_.clear();
+  }
+  cv_.notify_all();
+  for (auto& cb : to_shed) cb("server shutting down");
+}
+
+std::size_t AdmissionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+std::uint64_t AdmissionQueue::shed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+}  // namespace bspmv::serve

@@ -1,0 +1,89 @@
+// Admission control for the serving daemon: a bounded, priority-aware
+// request queue with load shedding and delayed (backoff) requeue.
+//
+// The queue never blocks a producer and never grows past its capacity.
+// When a job arrives at a full queue, the *lowest-priority* work in
+// sight is shed: if the incoming job outranks the lowest queued job,
+// that queued job is shed to make room; otherwise the incoming job is
+// shed itself. Shedding invokes the job's shed callback (the server
+// answers the client with a typed `overloaded` error) — work is refused
+// loudly at the door, never dropped silently or queued unboundedly.
+//
+// Jobs can be requeued with a not-before time (exponential backoff for
+// "engine busy" retries); pop() delivers the highest-priority runnable
+// job and sleeps no longer than the nearest not-before when only
+// deferred work remains.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace bspmv::serve {
+
+/// One unit of queued work.
+struct Job {
+  int priority = 0;  ///< higher survives admission longer
+  /// Execute the request (runs on a worker thread).
+  std::function<void()> run;
+  /// Refuse the request with a typed overloaded error (runs on whichever
+  /// thread decided to shed — producer or worker; must not block).
+  std::function<void(const std::string& why)> shed;
+  /// Steady-clock seconds before which the job must not run (backoff).
+  double not_before = 0.0;
+  /// Requeue attempt count (maintained by the server's retry logic).
+  int attempts = 0;
+};
+
+/// Monotonic seconds used for Job::not_before.
+double steady_seconds();
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity);
+
+  /// Admit `j`, shedding the lowest-priority job (possibly `j` itself)
+  /// when full. Returns true if `j` was admitted. Never blocks.
+  bool push(Job j);
+
+  /// Next runnable job, highest priority first (FIFO within a priority).
+  /// Blocks until a job is runnable or shutdown() is called; returns
+  /// nullopt only on shutdown.
+  std::optional<Job> pop();
+
+  /// Wake all waiters and shed every queued job ("server shutting down").
+  /// Subsequent push() calls shed immediately; pop() returns nullopt.
+  void shutdown();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t shed_count() const;
+
+ private:
+  struct Item {
+    Job job;
+    std::uint64_t seq;  ///< admission order, for FIFO within a priority
+  };
+  /// Highest priority first; among equals, earliest admitted first.
+  struct Order {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.job.priority != b.job.priority)
+        return a.job.priority > b.job.priority;
+      return a.seq < b.seq;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::multiset<Item, Order> items_;
+  std::size_t capacity_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t shed_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace bspmv::serve

@@ -1,0 +1,140 @@
+#include "src/serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace bspmv::serve {
+
+ServeClient::ServeClient(std::string socket_path, WireLimits limits)
+    : limits_(limits) {
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0)
+    throw io_error(std::string("socket() failed: ") + std::strerror(errno));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path) {
+    ::close(fd_);
+    fd_ = -1;
+    throw io_error("socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw io_error("cannot connect to " + socket_path + ": " + why);
+  }
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), limits_(other.limits_) {}
+
+std::string ServeClient::roundtrip(MsgType type, const std::string& payload,
+                                   MsgType expect) {
+  write_frame(fd_, type, payload, limits_);
+  MsgType got{};
+  std::string reply;
+  if (!read_frame(fd_, got, reply, limits_))
+    throw io_error("server closed the connection before replying");
+  if (got == MsgType::kError) {
+    const ErrorReply err = ErrorReply::decode(reply);
+    throw_wire_error(err.code, err.message);
+  }
+  if (got != expect) {
+    throw parse_error(std::string("expected ") + msg_type_name(expect) +
+                      " reply, got " + msg_type_name(got));
+  }
+  return reply;
+}
+
+void ServeClient::ping() { roundtrip(MsgType::kPing, "", MsgType::kPong); }
+
+SubmitReply ServeClient::submit(const Csr<double>& a) {
+  const std::string payload = SubmitRequest::from_csr(a).encode();
+  return SubmitReply::decode(
+      roundtrip(MsgType::kSubmit, payload, MsgType::kSubmitOk));
+}
+
+SpmvReply ServeClient::spmv(std::uint64_t fingerprint,
+                            const std::vector<double>& x,
+                            double deadline_seconds, std::uint32_t priority,
+                            bool check_numerics) {
+  SpmvRequest req;
+  req.fingerprint = fingerprint;
+  req.priority = priority;
+  req.deadline_seconds = deadline_seconds;
+  req.check_numerics = check_numerics;
+  req.x = x;
+  return SpmvReply::decode(
+      roundtrip(MsgType::kSpmv, req.encode(), MsgType::kSpmvOk));
+}
+
+Json ServeClient::stats() {
+  return Json::parse(roundtrip(MsgType::kStats, "", MsgType::kStatsOk));
+}
+
+void ServeClient::shutdown_server() {
+  roundtrip(MsgType::kShutdown, "", MsgType::kShutdownOk);
+}
+
+namespace {
+
+void backoff_sleep(const RetryPolicy& policy, int attempt) {
+  const double s =
+      policy.backoff_base_seconds * static_cast<double>(1 << attempt);
+  std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
+}  // namespace
+
+SubmitReply ServeClient::submit_with_retry(const Csr<double>& a,
+                                           const RetryPolicy& policy) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return submit(a);
+    } catch (const overloaded_error&) {
+      if (attempt + 1 >= policy.max_attempts) throw;
+      backoff_sleep(policy, attempt);
+    }
+  }
+}
+
+SpmvReply ServeClient::spmv_with_retry(const Csr<double>& a,
+                                       std::uint64_t fingerprint,
+                                       const std::vector<double>& x,
+                                       double deadline_seconds,
+                                       std::uint32_t priority,
+                                       bool check_numerics,
+                                       const RetryPolicy& policy) {
+  bool resubmitted = false;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return spmv(fingerprint, x, deadline_seconds, priority, check_numerics);
+    } catch (const overloaded_error&) {
+      if (attempt + 1 >= policy.max_attempts) throw;
+      backoff_sleep(policy, attempt);
+    } catch (const invalid_argument_error&) {
+      // kUnknownMatrix lands here (throw_wire_error maps it): the engine
+      // was evicted or the server restarted spool-less. Resubmit once and
+      // keep going; a second unknown means the fingerprint itself is
+      // wrong for this matrix, so let it surface.
+      if (resubmitted || attempt + 1 >= policy.max_attempts) throw;
+      resubmitted = true;
+      const SubmitReply rep = submit_with_retry(a, policy);
+      fingerprint = rep.fingerprint;
+    }
+  }
+}
+
+}  // namespace bspmv::serve

@@ -1,0 +1,87 @@
+// Client library for the SpMV serving daemon.
+//
+// ServeClient wraps one Unix-socket connection to a bspmv_serve daemon
+// and re-raises server-side failures as the same typed bspmv::error
+// taxonomy an in-process caller would see (kError frames are decoded and
+// thrown via throw_wire_error). The connection is not thread-safe; use
+// one client per thread.
+//
+// submit_with_retry / spmv_with_retry layer the client side of the
+// fault-tolerance story on top: overloaded_error and unknown-matrix
+// replies are retried with exponential backoff (resubmitting the matrix
+// when the server lost it to eviction or a restart), everything else
+// propagates immediately — a deadline or numerical error will not heal
+// by retrying.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/formats/csr.hpp"
+#include "src/serve/protocol.hpp"
+#include "src/util/json.hpp"
+
+namespace bspmv::serve {
+
+struct RetryPolicy {
+  int max_attempts = 5;
+  double backoff_base_seconds = 0.01;  ///< doubles per attempt
+};
+
+class ServeClient {
+ public:
+  /// Connect to the daemon at `socket_path`; throws io_error when the
+  /// socket is absent or refuses.
+  explicit ServeClient(std::string socket_path, WireLimits limits = {});
+  ~ServeClient();
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+  ServeClient(ServeClient&& other) noexcept;
+
+  /// Liveness probe; throws on a broken connection.
+  void ping();
+
+  /// Upload `a`; the server prepares (or finds) an engine and returns
+  /// its fingerprint for later spmv() calls.
+  SubmitReply submit(const Csr<double>& a);
+
+  /// y = A·x against the engine cached under `fingerprint`.
+  SpmvReply spmv(std::uint64_t fingerprint, const std::vector<double>& x,
+                 double deadline_seconds = 0.0, std::uint32_t priority = 0,
+                 bool check_numerics = false);
+
+  /// Server counter snapshot (parsed JSON).
+  Json stats();
+
+  /// Ask the daemon to stop gracefully.
+  void shutdown_server();
+
+  /// submit(), retrying overloaded replies with exponential backoff.
+  SubmitReply submit_with_retry(const Csr<double>& a,
+                                const RetryPolicy& policy = {});
+
+  /// spmv(), retrying overloaded replies with backoff and healing
+  /// unknown-matrix replies by resubmitting `a` (eviction or server
+  /// restart without a spool). Other errors propagate unchanged.
+  SpmvReply spmv_with_retry(const Csr<double>& a, std::uint64_t fingerprint,
+                            const std::vector<double>& x,
+                            double deadline_seconds = 0.0,
+                            std::uint32_t priority = 0,
+                            bool check_numerics = false,
+                            const RetryPolicy& policy = {});
+
+  int fd() const { return fd_; }
+
+ private:
+  /// Send `type`+`payload`, read one reply frame, throw typed on kError,
+  /// require `expect` otherwise; returns the reply payload.
+  std::string roundtrip(MsgType type, const std::string& payload,
+                        MsgType expect);
+
+  int fd_ = -1;
+  WireLimits limits_;
+};
+
+}  // namespace bspmv::serve

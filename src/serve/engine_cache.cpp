@@ -1,0 +1,142 @@
+#include "src/serve/engine_cache.hpp"
+
+#include <algorithm>
+
+#include "src/observe/observe.hpp"
+#include "src/util/numerics.hpp"
+
+namespace bspmv::serve {
+
+std::uint64_t matrix_fingerprint(const Csr<double>& a) {
+  // Chain FNV-1a across the dimension header and the three arrays; the
+  // previous hash seeds the next segment so array boundaries matter
+  // (swapping bytes between col_ind and val changes the result).
+  const std::uint64_t dims[3] = {static_cast<std::uint64_t>(a.rows()),
+                                 static_cast<std::uint64_t>(a.cols()),
+                                 static_cast<std::uint64_t>(a.nnz())};
+  std::uint64_t h = bits_fingerprint(dims, 3);
+  h ^= bits_fingerprint(a.row_ptr().data(), a.row_ptr().size());
+  h *= 0x100000001b3ull;
+  h ^= bits_fingerprint(a.col_ind().data(), a.col_ind().size());
+  h *= 0x100000001b3ull;
+  h ^= bits_fingerprint(a.val().data(), a.val().size());
+  return h;
+}
+
+MatrixKey matrix_key(const Csr<double>& a) {
+  return MatrixKey{matrix_fingerprint(a), a.rows(), a.cols(), a.nnz()};
+}
+
+EngineCache::EngineCache(std::size_t budget_bytes) : budget_(budget_bytes) {}
+
+std::shared_ptr<const CachedEngine> EngineCache::find(const MatrixKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key.hash);
+  if (it == map_.end()) {
+    ++misses_;
+    BSPMV_OBS_COUNT("serve.cache.misses", 1);
+    return nullptr;
+  }
+  if ((*it->second)->key != key) {
+    // Same 64-bit hash, different matrix: never serve the resident
+    // engine for this request.
+    ++collisions_;
+    ++misses_;
+    BSPMV_OBS_COUNT("serve.cache.collisions", 1);
+    BSPMV_OBS_COUNT("serve.cache.misses", 1);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  it->second = lru_.begin();
+  ++hits_;
+  BSPMV_OBS_COUNT("serve.cache.hits", 1);
+  return *it->second;
+}
+
+std::shared_ptr<const CachedEngine> EngineCache::find(std::uint64_t hash) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(hash);
+  if (it == map_.end()) {
+    ++misses_;
+    BSPMV_OBS_COUNT("serve.cache.misses", 1);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  it->second = lru_.begin();
+  ++hits_;
+  BSPMV_OBS_COUNT("serve.cache.hits", 1);
+  return *it->second;
+}
+
+void EngineCache::evict_for(std::size_t need) {
+  while (!lru_.empty() && budget_ - std::min(bytes_, budget_) < need) {
+    const Entry& victim = lru_.back();
+    bytes_ -= std::min(bytes_, victim->bytes);
+    map_.erase(victim->key.hash);
+    lru_.pop_back();
+    ++evictions_;
+    BSPMV_OBS_COUNT("serve.cache.evictions", 1);
+  }
+}
+
+void EngineCache::insert(std::shared_ptr<const CachedEngine> e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(e->key.hash);
+  if (it != map_.end()) {
+    if ((*it->second)->key != e->key) {
+      ++collisions_;
+      BSPMV_OBS_COUNT("serve.cache.collisions", 1);
+    }
+    bytes_ -= std::min(bytes_, (*it->second)->bytes);
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  // An entry larger than the whole budget still evicts everything else,
+  // then goes in alone — total stays at max(budget, one entry).
+  evict_for(std::min(e->bytes, budget_ == 0 ? e->bytes : budget_));
+  bytes_ += e->bytes;
+  const std::uint64_t hash = e->key.hash;
+  lru_.push_front(std::move(e));
+  map_[hash] = lru_.begin();
+  BSPMV_OBS_COUNT("serve.cache.inserts", 1);
+}
+
+bool EngineCache::erase(std::uint64_t hash) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(hash);
+  if (it == map_.end()) return false;
+  bytes_ -= std::min(bytes_, (*it->second)->bytes);
+  lru_.erase(it->second);
+  map_.erase(it);
+  return true;
+}
+
+void EngineCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  map_.clear();
+  bytes_ = 0;
+}
+
+EngineCache::Stats EngineCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.collisions = collisions_;
+  s.entries = lru_.size();
+  s.bytes = bytes_;
+  s.budget_bytes = budget_;
+  return s;
+}
+
+std::vector<std::uint64_t> EngineCache::resident_hashes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::uint64_t> out;
+  out.reserve(lru_.size());
+  for (const Entry& e : lru_) out.push_back(e->key.hash);
+  return out;
+}
+
+}  // namespace bspmv::serve

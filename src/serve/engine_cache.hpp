@@ -1,0 +1,126 @@
+// Bounded LRU cache of prepared SpmvEngines, keyed by matrix fingerprint.
+//
+// This is what makes the paper's premise pay in a serving scenario:
+// preparation (candidate conversion, optionally measured selection) costs
+// orders of magnitude more than one y = A·x, so a long-lived server
+// prepares once per distinct matrix and answers every subsequent request
+// from the cache.
+//
+// Key design points:
+//   - Fingerprint = FNV-1a over the CSR arrays plus dimensions (reusing
+//     bits_fingerprint from src/util/numerics.hpp). The full MatrixKey
+//     also carries (rows, cols, nnz); a lookup whose hash matches but
+//     whose dimensions differ is a detected *collision* — counted, and
+//     treated as a miss so the colliding matrix is never served wrong
+//     results (the newer matrix replaces the older under that hash).
+//   - Byte budget, not entry count: every entry is charged its engine's
+//     working_set_bytes(); inserts evict from the LRU tail until the new
+//     entry fits. A single entry larger than the whole budget is
+//     admitted alone (serving it degraded beats refusing it) — eviction
+//     then empties the rest of the cache, keeping total = that entry.
+//   - Pin-while-running: entries are handed out as shared_ptr<const
+//     CachedEngine>. Eviction only drops the cache's reference; a worker
+//     mid-request keeps its engine alive until it finishes, so an evicted
+//     engine can never be torn down under a running kernel.
+//
+// Thread-safe; one mutex guards the map/list (lookups are O(1) and the
+// critical sections never run kernels or conversions).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/engine.hpp"
+
+namespace bspmv::serve {
+
+/// Cache identity of a matrix: content hash + structural dimensions used
+/// to detect hash collisions.
+struct MatrixKey {
+  std::uint64_t hash = 0;
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::uint64_t nnz = 0;
+
+  friend bool operator==(const MatrixKey&, const MatrixKey&) = default;
+};
+
+/// FNV-1a fingerprint over dimensions and the three CSR arrays.
+std::uint64_t matrix_fingerprint(const Csr<double>& a);
+MatrixKey matrix_key(const Csr<double>& a);
+
+/// One resident prepared engine. Immutable after insertion (the engine's
+/// run() is const and safe to call from many workers concurrently, each
+/// with its own x/y buffers).
+struct CachedEngine {
+  MatrixKey key;
+  SpmvEngine<double> engine;
+  std::string format_id;         ///< candidate id the prepare landed on
+  bool fallback = false;         ///< prepare degraded to scalar CSR
+  bool degraded = false;         ///< prepared under a degraded service level
+  std::size_t bytes = 0;         ///< working-set charge against the budget
+  double prepare_seconds = 0.0;
+};
+
+class EngineCache {
+ public:
+  explicit EngineCache(std::size_t budget_bytes);
+
+  /// Lookup by full key: a hash match with different dimensions is a
+  /// collision (counted) and reported as a miss. Hits move the entry to
+  /// the front of the LRU order.
+  std::shared_ptr<const CachedEngine> find(const MatrixKey& key);
+
+  /// Lookup by bare hash (what the wire protocol carries). The entry's
+  /// stored key travels with it, so callers can still cross-check the
+  /// request (e.g. x length vs cols).
+  std::shared_ptr<const CachedEngine> find(std::uint64_t hash);
+
+  /// Insert an entry, evicting least-recently-used entries until the
+  /// budget holds it (see header comment for the oversized-entry rule).
+  /// An existing entry under the same hash is replaced; if its stored
+  /// dimensions differ the replacement is also counted as a collision.
+  void insert(std::shared_ptr<const CachedEngine> e);
+
+  /// Drop one entry; returns true if it was resident. In-flight requests
+  /// holding the shared_ptr are unaffected (pin-while-running).
+  bool erase(std::uint64_t hash);
+
+  void clear();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t collisions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+    std::size_t budget_bytes = 0;
+  };
+  Stats stats() const;
+
+  /// Resident hashes, most recently used first (for stats/persistence).
+  std::vector<std::uint64_t> resident_hashes() const;
+
+ private:
+  using Entry = std::shared_ptr<const CachedEngine>;
+
+  /// Evict LRU-tail entries until `need` more bytes fit. Caller holds mu_.
+  void evict_for(std::size_t need);
+
+  mutable std::mutex mu_;
+  std::size_t budget_;
+  std::size_t bytes_ = 0;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t collisions_ = 0;
+};
+
+}  // namespace bspmv::serve

@@ -1,0 +1,465 @@
+#include "src/serve/protocol.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "src/util/macros.hpp"
+
+namespace bspmv::serve {
+
+namespace {
+
+void put_le(std::string& buf, std::uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i)
+    buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kPing: return "ping";
+    case MsgType::kPong: return "pong";
+    case MsgType::kSubmit: return "submit";
+    case MsgType::kSubmitOk: return "submit_ok";
+    case MsgType::kSpmv: return "spmv";
+    case MsgType::kSpmvOk: return "spmv_ok";
+    case MsgType::kStats: return "stats";
+    case MsgType::kStatsOk: return "stats_ok";
+    case MsgType::kShutdown: return "shutdown";
+    case MsgType::kShutdownOk: return "shutdown_ok";
+    case MsgType::kError: return "error";
+  }
+  return "?";
+}
+
+const char* error_code_name(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kError: return "error";
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kConversion: return "conversion";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kNumerical: return "numerical";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kUnknownMatrix: return "unknown_matrix";
+  }
+  return "?";
+}
+
+ErrorCode error_code_for(const error& e) {
+  // Derived classes before their bases, same discipline as mtx_tool's
+  // exit-code mapping.
+  if (dynamic_cast<const overloaded_error*>(&e)) return ErrorCode::kOverloaded;
+  if (dynamic_cast<const execution_error*>(&e)) return ErrorCode::kTimeout;
+  if (dynamic_cast<const numerical_error*>(&e)) return ErrorCode::kNumerical;
+  if (dynamic_cast<const parse_error*>(&e)) return ErrorCode::kParse;
+  if (dynamic_cast<const io_error*>(&e)) return ErrorCode::kIo;
+  if (dynamic_cast<const conversion_error*>(&e)) return ErrorCode::kConversion;
+  if (dynamic_cast<const validation_error*>(&e)) return ErrorCode::kParse;
+  if (dynamic_cast<const invalid_argument_error*>(&e))
+    return ErrorCode::kInvalidArgument;
+  return ErrorCode::kError;
+}
+
+void throw_wire_error(ErrorCode code, const std::string& msg) {
+  const std::string m =
+      "server [" + std::string(error_code_name(code)) + "]: " + msg;
+  switch (code) {
+    case ErrorCode::kParse: throw parse_error(m);
+    case ErrorCode::kConversion: throw conversion_error(m);
+    case ErrorCode::kTimeout: throw timeout_error(m);
+    case ErrorCode::kNumerical: throw numerical_error(m);
+    case ErrorCode::kIo: throw io_error(m);
+    case ErrorCode::kOverloaded: throw overloaded_error(m);
+    case ErrorCode::kInvalidArgument: throw invalid_argument_error(m);
+    case ErrorCode::kUnknownMatrix:
+      throw invalid_argument_error(m + " (resubmit the matrix)");
+    case ErrorCode::kError: break;
+  }
+  throw error(m);
+}
+
+// ------------------------------------------------------------ writer ----
+
+void WireWriter::u32(std::uint32_t v) { put_le(buf_, v, 4); }
+void WireWriter::u64(std::uint64_t v) { put_le(buf_, v, 8); }
+
+void WireWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void WireWriter::str(std::string_view s) {
+  BSPMV_CHECK_MSG(s.size() <= 0xffffffffu, "wire string too long");
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+void WireWriter::f64_array(const double* v, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) f64(v[i]);
+}
+
+void WireWriter::index_array(const index_t* v, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    BSPMV_CHECK_MSG(v[i] >= 0, "wire index array holds a negative value");
+    u32(static_cast<std::uint32_t>(v[i]));
+  }
+}
+
+// ------------------------------------------------------------ reader ----
+
+void WireReader::need(std::size_t n) const {
+  if (data_.size() - pos_ < n) {
+    std::ostringstream os;
+    os << "wire payload truncated: need " << n << " bytes at offset " << pos_
+       << ", have " << (data_.size() - pos_);
+    throw parse_error(os.str());
+  }
+}
+
+std::uint8_t WireReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t WireReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(data_[pos_ + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+double WireReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::string WireReader::str() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::string s(data_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+std::vector<double> WireReader::f64_array(std::size_t n) {
+  need(n * 8);  // n is pre-bounded by callers against the payload size
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = f64();
+  return v;
+}
+
+std::vector<index_t> WireReader::index_array(std::size_t n) {
+  need(n * 4);
+  std::vector<index_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t raw = u32();
+    if (raw > static_cast<std::uint32_t>(
+                  std::numeric_limits<index_t>::max())) {
+      std::ostringstream os;
+      os << "wire index value " << raw << " overflows index_t";
+      throw parse_error(os.str());
+    }
+    v[i] = static_cast<index_t>(raw);
+  }
+  return v;
+}
+
+void WireReader::expect_end() const {
+  if (pos_ != data_.size()) {
+    std::ostringstream os;
+    os << "wire payload has " << (data_.size() - pos_)
+       << " trailing bytes past the message";
+    throw parse_error(os.str());
+  }
+}
+
+// ----------------------------------------------------------- payloads ----
+
+SubmitRequest SubmitRequest::from_csr(const Csr<double>& a) {
+  SubmitRequest r;
+  r.rows = a.rows();
+  r.cols = a.cols();
+  r.row_ptr.assign(a.row_ptr().begin(), a.row_ptr().end());
+  r.col_ind.assign(a.col_ind().begin(), a.col_ind().end());
+  r.val.assign(a.val().begin(), a.val().end());
+  return r;
+}
+
+Csr<double> SubmitRequest::to_csr() const {
+  // Csr's array constructor validates monotone row pointers and index
+  // ranges, so a structurally hostile submit dies here with a typed error.
+  return Csr<double>(static_cast<index_t>(rows), static_cast<index_t>(cols),
+                     aligned_vector<index_t>(row_ptr.begin(), row_ptr.end()),
+                     aligned_vector<index_t>(col_ind.begin(), col_ind.end()),
+                     aligned_vector<double>(val.begin(), val.end()));
+}
+
+std::string SubmitRequest::encode() const {
+  WireWriter w;
+  w.u32(static_cast<std::uint32_t>(rows));
+  w.u32(static_cast<std::uint32_t>(cols));
+  w.u64(val.size());
+  w.index_array(row_ptr.data(), row_ptr.size());
+  w.index_array(col_ind.data(), col_ind.size());
+  w.f64_array(val.data(), val.size());
+  return w.take();
+}
+
+SubmitRequest SubmitRequest::decode(std::string_view payload) {
+  WireReader r(payload);
+  SubmitRequest req;
+  req.rows = r.u32();
+  req.cols = r.u32();
+  const std::uint64_t nnz = r.u64();
+  // Bound every count by what the payload could possibly hold before any
+  // allocation; a forged header cannot make the server allocate more
+  // than the frame it already accepted.
+  const std::uint64_t max_elems = payload.size();  // > any valid count
+  if (req.rows < 0 || req.cols < 0 ||
+      static_cast<std::uint64_t>(req.rows) + 1 > max_elems ||
+      nnz > max_elems) {
+    throw parse_error("submit: declared dimensions exceed the payload");
+  }
+  req.row_ptr = r.index_array(static_cast<std::size_t>(req.rows) + 1);
+  req.col_ind = r.index_array(static_cast<std::size_t>(nnz));
+  req.val = r.f64_array(static_cast<std::size_t>(nnz));
+  r.expect_end();
+  return req;
+}
+
+std::string SubmitReply::encode() const {
+  WireWriter w;
+  w.u64(fingerprint);
+  w.str(format_id);
+  w.u8(fallback ? 1 : 0);
+  w.u8(cached ? 1 : 0);
+  w.f64(prepare_seconds);
+  return w.take();
+}
+
+SubmitReply SubmitReply::decode(std::string_view payload) {
+  WireReader r(payload);
+  SubmitReply rep;
+  rep.fingerprint = r.u64();
+  rep.format_id = r.str();
+  rep.fallback = r.u8() != 0;
+  rep.cached = r.u8() != 0;
+  rep.prepare_seconds = r.f64();
+  r.expect_end();
+  return rep;
+}
+
+std::string SpmvRequest::encode() const {
+  WireWriter w;
+  w.u64(fingerprint);
+  w.u32(priority);
+  w.f64(deadline_seconds);
+  w.u8(check_numerics ? 1 : 0);
+  w.u64(x.size());
+  w.f64_array(x.data(), x.size());
+  return w.take();
+}
+
+SpmvRequest SpmvRequest::decode(std::string_view payload) {
+  WireReader r(payload);
+  SpmvRequest req;
+  req.fingerprint = r.u64();
+  req.priority = r.u32();
+  req.deadline_seconds = r.f64();
+  req.check_numerics = r.u8() != 0;
+  const std::uint64_t n = r.u64();
+  if (n > payload.size()) throw parse_error("spmv: x length exceeds payload");
+  req.x = r.f64_array(static_cast<std::size_t>(n));
+  r.expect_end();
+  return req;
+}
+
+std::string SpmvReply::encode() const {
+  WireWriter w;
+  w.u64(y.size());
+  w.f64(server_seconds);
+  w.u8(degraded ? 1 : 0);
+  w.f64_array(y.data(), y.size());
+  return w.take();
+}
+
+SpmvReply SpmvReply::decode(std::string_view payload) {
+  WireReader r(payload);
+  SpmvReply rep;
+  const std::uint64_t n = r.u64();
+  if (n > payload.size()) throw parse_error("spmv: y length exceeds payload");
+  rep.server_seconds = r.f64();
+  rep.degraded = r.u8() != 0;
+  rep.y = r.f64_array(static_cast<std::size_t>(n));
+  r.expect_end();
+  return rep;
+}
+
+std::string ErrorReply::encode() const {
+  WireWriter w;
+  w.u32(static_cast<std::uint32_t>(code));
+  w.str(message);
+  return w.take();
+}
+
+ErrorReply ErrorReply::decode(std::string_view payload) {
+  WireReader r(payload);
+  ErrorReply rep;
+  rep.code = static_cast<ErrorCode>(r.u32());
+  rep.message = r.str();
+  r.expect_end();
+  return rep;
+}
+
+// ----------------------------------------------------------- frame I/O ----
+
+void write_frame(int fd, MsgType type, std::string_view payload,
+                 const WireLimits& limits) {
+  BSPMV_CHECK_MSG(payload.size() <= limits.max_frame_bytes,
+                  "frame payload exceeds max_frame_bytes");
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  put_le(frame, kMagic, 4);
+  put_le(frame, kProtocolVersion, 4);
+  put_le(frame, static_cast<std::uint32_t>(type), 4);
+  put_le(frame, payload.size(), 8);
+  frame.append(payload.data(), payload.size());
+
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(fd, frame.data() + off, frame.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw io_error(std::string("frame send failed: ") +
+                     std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+namespace {
+
+/// Read exactly n bytes into buf. Returns the bytes read before EOF (== n
+/// unless the peer closed). Throws io_error on socket errors and
+/// timeout_error when the deadline passes with the read incomplete.
+std::size_t read_exact(int fd, char* buf, std::size_t n, double deadline) {
+  std::size_t got = 0;
+  while (got < n) {
+    const double remaining = deadline - now_seconds();
+    if (remaining <= 0)
+      throw timeout_error("frame read timed out mid-frame");
+    struct pollfd pfd{fd, POLLIN, 0};
+    const int pr =
+        ::poll(&pfd, 1, static_cast<int>(std::min(remaining, 3600.0) * 1e3) + 1);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      throw io_error(std::string("poll failed: ") + std::strerror(errno));
+    }
+    if (pr == 0) continue;  // deadline re-checked at loop top
+    const ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw io_error(std::string("frame recv failed: ") +
+                     std::strerror(errno));
+    }
+    if (r == 0) return got;  // EOF
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+std::uint64_t get_le(const char* p, int bytes) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+bool read_frame(int fd, MsgType& type, std::string& payload,
+                const WireLimits& limits) {
+  const double deadline = now_seconds() + limits.read_timeout_seconds;
+  char header[kFrameHeaderBytes];
+  const std::size_t got = read_exact(fd, header, sizeof header, deadline);
+  if (got == 0) return false;  // clean EOF at a frame boundary
+  if (got < sizeof header)
+    throw parse_error("connection closed mid-frame header");
+
+  const auto magic = static_cast<std::uint32_t>(get_le(header, 4));
+  const auto version = static_cast<std::uint32_t>(get_le(header + 4, 4));
+  const auto raw_type = static_cast<std::uint32_t>(get_le(header + 8, 4));
+  const std::uint64_t len = get_le(header + 12, 8);
+
+  if (magic != kMagic) {
+    std::ostringstream os;
+    os << "bad frame magic 0x" << std::hex << magic;
+    throw parse_error(os.str());
+  }
+  if (version != kProtocolVersion) {
+    std::ostringstream os;
+    os << "unsupported protocol version " << version;
+    throw parse_error(os.str());
+  }
+  if (raw_type < static_cast<std::uint32_t>(MsgType::kPing) ||
+      raw_type > static_cast<std::uint32_t>(MsgType::kError)) {
+    std::ostringstream os;
+    os << "unknown frame type " << raw_type;
+    throw parse_error(os.str());
+  }
+  if (len > limits.max_frame_bytes) {
+    std::ostringstream os;
+    os << "declared payload of " << len << " bytes exceeds the "
+       << limits.max_frame_bytes << "-byte frame cap";
+    throw parse_error(os.str());
+  }
+
+  payload.resize(static_cast<std::size_t>(len));
+  if (len > 0) {
+    const std::size_t body =
+        read_exact(fd, payload.data(), payload.size(), deadline);
+    if (body < payload.size())
+      throw parse_error("connection closed mid-frame body");
+  }
+  type = static_cast<MsgType>(raw_type);
+  return true;
+}
+
+}  // namespace bspmv::serve

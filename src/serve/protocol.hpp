@@ -1,0 +1,235 @@
+// Wire protocol for the SpMV serving daemon (bspmv_serve).
+//
+// Transport: a Unix stream socket carrying length-prefixed binary frames.
+// Every frame is
+//
+//   u32 magic   = 0x42535056 ("VPSB" in little-endian byte order)
+//   u32 version = 1
+//   u32 type    (MsgType)
+//   u64 payload_len
+//   payload_len bytes of payload
+//
+// All integers are little-endian (encoded byte-by-byte, so the codec is
+// endian-portable even though every deployment today is x86/ARM LE).
+// A frame whose declared payload exceeds WireLimits::max_frame_bytes is
+// rejected *before* any allocation — a hostile 16-exabyte length field
+// costs the server one header read, not its address space.
+//
+// Request/response pairs (client sends the left, server answers the
+// right, or kError with a typed ErrorCode from the bspmv::error
+// taxonomy):
+//
+//   kPing      -> kPong        liveness probe, empty payloads
+//   kSubmit    -> kSubmitOk    upload a CSR matrix; server prepares an
+//                              engine, caches it by fingerprint
+//   kSpmv      -> kSpmvOk      y = A·x against a cached engine, keyed by
+//                              the fingerprint kSubmitOk returned
+//   kStats     -> kStatsOk     JSON snapshot of server/cache counters
+//   kShutdown  -> kShutdownOk  graceful stop
+//
+// The error/exit-code table and the request lifecycle state machine are
+// documented in docs/serving.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/formats/csr.hpp"
+#include "src/util/errors.hpp"
+
+namespace bspmv::serve {
+
+inline constexpr std::uint32_t kMagic = 0x42535056u;
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Frame header size on the wire: magic + version + type + payload_len.
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 4 + 8;
+
+enum class MsgType : std::uint32_t {
+  kPing = 1,
+  kPong = 2,
+  kSubmit = 3,
+  kSubmitOk = 4,
+  kSpmv = 5,
+  kSpmvOk = 6,
+  kStats = 7,
+  kStatsOk = 8,
+  kShutdown = 9,
+  kShutdownOk = 10,
+  kError = 11,
+};
+
+const char* msg_type_name(MsgType t);
+
+/// Error classes a server can return, mirroring mtx_tool's exit codes
+/// (docs/robustness.md) so scripts can branch on either the same way.
+enum class ErrorCode : std::uint32_t {
+  kError = 1,          ///< other bspmv::error
+  kParse = 2,          ///< malformed frame or payload
+  kConversion = 3,     ///< engine preparation failed outright
+  kTimeout = 4,        ///< deadline expired / run stalled or cancelled
+  kNumerical = 5,      ///< NaN/Inf tripped the numeric guards
+  kIo = 6,             ///< persistence/socket failure server-side
+  kOverloaded = 7,     ///< admission control shed the request
+  kInvalidArgument = 8,///< well-formed frame, nonsensical request
+  kUnknownMatrix = 9,  ///< fingerprint not cached (evicted or never
+                       ///< submitted) — resubmit the matrix and retry
+};
+
+const char* error_code_name(ErrorCode c);
+
+/// Map a typed library error to its wire code (derived classes first).
+ErrorCode error_code_for(const error& e);
+
+/// Throw the typed bspmv::error matching `code` — the client-side inverse
+/// of error_code_for, so a caller of the client library sees the same
+/// taxonomy it would see calling the library in-process. kUnknownMatrix
+/// maps to invalid_argument_error (message says to resubmit).
+[[noreturn]] void throw_wire_error(ErrorCode code, const std::string& msg);
+
+// ----------------------------------------------------------------------
+// Bounds-checked payload codec
+// ----------------------------------------------------------------------
+
+/// Append-only little-endian encoder for payload bodies.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+  /// Length-prefixed (u32) byte string.
+  void str(std::string_view s);
+  /// Raw doubles, count NOT written (callers prefix their own counts).
+  void f64_array(const double* v, std::size_t n);
+  /// Raw u32s from signed indices (values must be non-negative).
+  void index_array(const index_t* v, std::size_t n);
+
+  const std::string& data() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian decoder; every read past the end throws
+/// bspmv::parse_error, so a truncated or hostile payload can never read
+/// out of bounds.
+class WireReader {
+ public:
+  explicit WireReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+  std::vector<double> f64_array(std::size_t n);
+  std::vector<index_t> index_array(std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  /// Throws parse_error unless the payload was consumed exactly.
+  void expect_end() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// ----------------------------------------------------------------------
+// Typed payloads
+// ----------------------------------------------------------------------
+
+/// kSubmit: a CSR matrix in wire form. decode() re-validates structure
+/// (array lengths, monotone row pointers via Csr's constructor when the
+/// caller materialises it) and bounds every count against the payload
+/// size before allocating.
+struct SubmitRequest {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::vector<index_t> row_ptr;
+  std::vector<index_t> col_ind;
+  std::vector<double> val;
+
+  static SubmitRequest from_csr(const Csr<double>& a);
+  Csr<double> to_csr() const;
+
+  std::string encode() const;
+  static SubmitRequest decode(std::string_view payload);
+};
+
+/// kSubmitOk.
+struct SubmitReply {
+  std::uint64_t fingerprint = 0;
+  std::string format_id;        ///< candidate id the engine landed on
+  bool fallback = false;        ///< every candidate failed; scalar CSR
+  bool cached = false;          ///< engine was already resident (hit)
+  double prepare_seconds = 0.0; ///< server-side preparation time
+
+  std::string encode() const;
+  static SubmitReply decode(std::string_view payload);
+};
+
+/// kSpmv: run y = A·x against the engine cached under `fingerprint`.
+struct SpmvRequest {
+  std::uint64_t fingerprint = 0;
+  std::uint32_t priority = 0;      ///< higher survives admission longer
+  double deadline_seconds = 0.0;   ///< per-request budget; 0 = server default
+  bool check_numerics = false;     ///< NaN/Inf guards on x and y
+  std::vector<double> x;
+
+  std::string encode() const;
+  static SpmvRequest decode(std::string_view payload);
+};
+
+/// kSpmvOk.
+struct SpmvReply {
+  std::vector<double> y;
+  double server_seconds = 0.0;  ///< queue + run time inside the server
+  bool degraded = false;        ///< served under a degraded service level
+
+  std::string encode() const;
+  static SpmvReply decode(std::string_view payload);
+};
+
+/// kError.
+struct ErrorReply {
+  ErrorCode code = ErrorCode::kError;
+  std::string message;
+
+  std::string encode() const;
+  static ErrorReply decode(std::string_view payload);
+};
+
+// ----------------------------------------------------------------------
+// Frame I/O
+// ----------------------------------------------------------------------
+
+struct WireLimits {
+  /// Hard cap on a single frame's payload; both sides enforce it on send
+  /// and receive. Large enough for a ~2.6M-nnz double CSR submit.
+  std::size_t max_frame_bytes = std::size_t{64} << 20;  // 64 MiB
+  /// Give up reading a frame when the peer sends nothing for this long
+  /// (a half-open or wedged connection must not pin a server thread).
+  double read_timeout_seconds = 30.0;
+};
+
+/// Serialise and send one frame. Throws bspmv::io_error on socket errors
+/// (EPIPE included — SIGPIPE is suppressed via MSG_NOSIGNAL) and
+/// invalid_argument_error when the payload exceeds limits.max_frame_bytes.
+void write_frame(int fd, MsgType type, std::string_view payload,
+                 const WireLimits& limits);
+
+/// Read one complete frame. Returns false on clean EOF at a frame
+/// boundary (the peer closed). Throws parse_error on a malformed header
+/// (bad magic/version, oversized declared length), io_error on socket
+/// errors, timeout_error when no bytes arrive within the read timeout,
+/// and parse_error when EOF cuts a frame mid-body (torn frame).
+bool read_frame(int fd, MsgType& type, std::string& payload,
+                const WireLimits& limits);
+
+}  // namespace bspmv::serve

@@ -40,17 +40,15 @@ const std::array<std::uint32_t, 256>& crc_table() {
   return table;
 }
 
-std::string checksum_line(std::string_view payload) {
+// Byte-exact trailer protocol: the CRC covers the payload alone, and the
+// "\n#bspmv-crc32:xxxxxxxx\n" trailer (leading newline included) belongs
+// entirely to the protocol — the reader strips it and returns the
+// payload bit-for-bit, so binary payloads (e.g. the serving daemon's
+// spooled matrices) round-trip exactly.
+std::string with_trailer(const std::string& payload) {
   char buf[16];
   std::snprintf(buf, sizeof(buf), "%08x", crc32(payload));
-  return std::string(kChecksumPrefix) + buf + "\n";
-}
-
-// The trailer must start its own line or the reader cannot find it.
-std::string with_trailer(const std::string& payload) {
-  std::string body = payload;
-  if (body.empty() || body.back() != '\n') body += '\n';
-  return body + checksum_line(body);
+  return payload + "\n" + kChecksumPrefix + buf + "\n";
 }
 
 std::string dir_of(const std::string& path) {
@@ -78,10 +76,13 @@ void atomic_write_file(const std::string& path, const std::string& payload,
                        bool with_checksum) {
   const std::string body = with_checksum ? with_trailer(payload) : payload;
 
-  // Advisory writer lock on the destination so concurrent writers of the
-  // same cache serialise. Best effort: the rename below is atomic anyway.
+  // Advisory writer lock so concurrent writers of the same cache
+  // serialise. The lock lives on a sidecar file, NOT the destination:
+  // opening the destination with O_CREAT would materialise an empty
+  // file a concurrent reader could observe before the first rename.
+  // Best effort: the rename below is atomic anyway.
   const int lock_fd =
-      ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+      ::open((path + ".lock").c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
   if (lock_fd >= 0) ::flock(lock_fd, LOCK_EX);
 
   const std::string tmp =
@@ -164,28 +165,27 @@ std::optional<std::string> read_file_if_exists(const std::string& path) {
   if (f.bad()) throw io_error("read failed for '" + path + "'");
   std::string content = ss.str();
 
-  // Locate a trailing checksum line, if any: the last line (ignoring the
-  // final newline) starting with the marker.
-  std::size_t end = content.size();
-  if (end > 0 && content[end - 1] == '\n') --end;
-  const std::size_t line_start = content.rfind('\n', end == 0 ? 0 : end - 1);
-  const std::size_t begin = line_start == std::string::npos ? 0 : line_start + 1;
-  const std::string_view last(content.data() + begin, end - begin);
-  const std::string_view prefix(kChecksumPrefix);
-  if (last.substr(0, std::min(last.size(), prefix.size())) != prefix)
+  // Locate the checksum trailer, if any: the *last* occurrence of the
+  // newline-prefixed marker (the payload itself could contain the bytes
+  // by coincidence; the CRC check below arbitrates).
+  const std::string marker = std::string("\n") + kChecksumPrefix;
+  const std::size_t pos = content.rfind(marker);
+  if (pos == std::string::npos)
     return content;  // no trailer: legacy or externally produced file
-  if (last.size() != prefix.size() + 8)
+
+  // Expect marker + 8 hex digits + '\n' and nothing after.
+  const std::size_t hex_begin = pos + marker.size();
+  if (content.size() != hex_begin + 9 || content.back() != '\n')
     throw io_error("corrupt checksum trailer in '" + path +
                    "' — file is truncated or corrupted");
-
-  const std::string_view payload(content.data(), begin);
   std::uint32_t stored = 0;
   {
-    std::istringstream hex(std::string(last.substr(prefix.size())));
+    std::istringstream hex(content.substr(hex_begin, 8));
     hex >> std::hex >> stored;
     if (hex.fail())
       throw io_error("corrupt checksum trailer in '" + path + "'");
   }
+  const std::string_view payload(content.data(), pos);
   if (crc32(payload) != stored)
     throw io_error("checksum mismatch in '" + path +
                    "' — file is truncated or corrupted");

@@ -6,7 +6,9 @@
 // the directory — so a crash or kill at any instant leaves either the
 // old complete file or the new complete file, never a truncated hybrid.
 // Writers holding the same destination serialise through an advisory
-// flock on the destination path (best effort; still atomic without it).
+// flock on a sidecar "<path>.lock" file (best effort; still atomic
+// without it). The destination itself is only ever touched by rename(),
+// so a reader never observes a created-but-empty file.
 //
 // For artifacts that survive crashes of *other* software (filesystem
 // corruption, partial copies), with_checksum appends one trailing line

@@ -22,6 +22,10 @@
 //   │                            numeric health guards at engine
 //   │                            boundaries, or a nondeterministic output
 //   │                            fingerprint across measurement batches
+//   ├── overloaded_error         admission control shed the request: the
+//   │                            server's bounded queue was full and this
+//   │                            work was the lowest priority. The input
+//   │                            is fine — retry later with backoff
 //   └── io_error                 a persistence operation failed (cannot
 //                                write, rename, or a trailing-checksum
 //                                corruption check rejected the file)
@@ -100,6 +104,15 @@ class timeout_error : public execution_error {
 /// vector at an engine boundary, or a measurement whose output
 /// fingerprint changed between batches (nondeterminism/corruption).
 class numerical_error : public error {
+ public:
+  using error::error;
+};
+
+/// Thrown (or returned over the wire) when admission control sheds a
+/// request under overload: the bounded queue was full and this request
+/// was the lowest-priority work in sight. Nothing is wrong with the
+/// input — the caller should back off and retry.
+class overloaded_error : public error {
  public:
   using error::error;
 };

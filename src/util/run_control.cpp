@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "src/observe/observe.hpp"
 #include "src/util/macros.hpp"
 
 namespace bspmv {
@@ -56,6 +57,26 @@ void RunControl::abort(AbortReason r, const std::string& why) {
     msg_ = why;
   }
   stop_.store(true, std::memory_order_release);
+  // One counter per outcome class so a serving layer can alert on abort
+  // rates without parsing messages (docs/observability.md).
+  switch (r) {
+    case AbortReason::kCancelled:
+      BSPMV_OBS_COUNT("runcontrol.abort.cancelled", 1);
+      break;
+    case AbortReason::kDeadline:
+      BSPMV_OBS_COUNT("runcontrol.abort.deadline", 1);
+      break;
+    case AbortReason::kStalled:
+      BSPMV_OBS_COUNT("runcontrol.abort.stalled", 1);
+      break;
+    case AbortReason::kNone:
+      break;
+  }
+}
+
+void RunControl::set_watchdog_poll(double seconds) {
+  BSPMV_CHECK_MSG(seconds > 0, "watchdog poll interval must be positive");
+  watchdog_poll_ = seconds;
 }
 
 void RunControl::check() {
@@ -105,8 +126,11 @@ RunControl::ScopedCurrent::~ScopedCurrent() { g_current = prev_; }
 // ------------------------------------------------------------ watchdog ----
 
 Watchdog::Watchdog(RunControl& control, double poll_seconds)
-    : control_(&control), poll_seconds_(poll_seconds) {
-  BSPMV_CHECK_MSG(poll_seconds > 0, "watchdog poll interval must be positive");
+    : control_(&control),
+      poll_seconds_(poll_seconds > 0 ? poll_seconds
+                                     : control.watchdog_poll()) {
+  BSPMV_CHECK_MSG(poll_seconds_ > 0,
+                  "watchdog poll interval must be positive");
   // Nothing to monitor: spawning a thread would be pure overhead.
   if (!control.has_deadline() && control.stall_timeout() <= 0) return;
   thread_ = std::thread([this] { loop(); });

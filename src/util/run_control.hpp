@@ -78,6 +78,13 @@ class RunControl {
   void set_stall_timeout(double seconds) { stall_timeout_ = seconds; }
   double stall_timeout() const { return stall_timeout_; }
 
+  /// Base interval at which a Watchdog monitoring this control wakes to
+  /// check the deadline and heartbeats (it still polls faster near a
+  /// deadline or tight stall budget). Servers shorten it for snappy abort
+  /// latency; batch sweeps lengthen it to shed wakeups.
+  void set_watchdog_poll(double seconds);
+  double watchdog_poll() const { return watchdog_poll_; }
+
   // --- cancellation ----------------------------------------------------
 
   /// Cooperative cancel from any thread; the run unwinds with
@@ -152,6 +159,7 @@ class RunControl {
   /// Deadline as steady_clock nanoseconds-since-epoch; 0 = none.
   std::atomic<std::int64_t> deadline_ns_{0};
   double stall_timeout_ = 0.0;
+  double watchdog_poll_ = 0.01;
   std::array<std::atomic<std::uint64_t>, kThreadSlots> beats_{};
   mutable std::mutex msg_mu_;
   std::string msg_;
@@ -163,9 +171,13 @@ class RunControl {
 /// advancing (a wedged worker, a livelocked barrier). RAII: the thread
 /// is joined on destruction. Constructing a Watchdog on a control with
 /// neither a deadline nor a stall timeout is a no-op (no thread spawned).
+///
+/// `poll_seconds <= 0` (the default) adopts the control's
+/// watchdog_poll() interval, so callers tune one knob on RunControl
+/// instead of plumbing an extra parameter everywhere a Watchdog spawns.
 class Watchdog {
  public:
-  explicit Watchdog(RunControl& control, double poll_seconds = 0.01);
+  explicit Watchdog(RunControl& control, double poll_seconds = 0.0);
   ~Watchdog();
   Watchdog(const Watchdog&) = delete;
   Watchdog& operator=(const Watchdog&) = delete;

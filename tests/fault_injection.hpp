@@ -105,6 +105,52 @@ void expect_typed_errors_only(const std::vector<std::string>& corpus,
   }
 }
 
+/// Deterministic binary corruptions of a serving wire frame (header +
+/// payload as produced by serve::write_frame): truncations at byte
+/// granularity through the header and several payload depths, bit flips
+/// in every header field, a zeroed magic, an inflated declared length
+/// and appended trailing garbage. Feeding these to a frame reader must
+/// produce typed errors only — never a crash, hang or giant allocation.
+inline std::vector<std::string> frame_corruptions(const std::string& frame) {
+  std::vector<std::string> out;
+
+  // Truncate inside the 20-byte header, then at payload depths.
+  for (std::size_t n = 0; n < std::min<std::size_t>(20, frame.size()); ++n)
+    out.push_back(frame.substr(0, n));
+  for (int pct : {25, 50, 75, 99})
+    out.push_back(frame.substr(
+        0, frame.size() * static_cast<std::size_t>(pct) / 100));
+
+  // Flip one bit in each header field (magic, version, type, length).
+  for (std::size_t pos : {std::size_t{0}, std::size_t{4}, std::size_t{8},
+                          std::size_t{12}, std::size_t{19}}) {
+    if (pos >= frame.size()) continue;
+    std::string s = frame;
+    s[pos] = static_cast<char>(s[pos] ^ 0x40);
+    out.push_back(std::move(s));
+  }
+
+  // Zero the magic entirely.
+  if (frame.size() >= 4) {
+    std::string s = frame;
+    s[0] = s[1] = s[2] = s[3] = '\0';
+    out.push_back(std::move(s));
+  }
+
+  // Declare a payload far larger than what follows (length field is the
+  // u64 at offset 12, little-endian).
+  if (frame.size() >= 20) {
+    std::string s = frame;
+    s[18] = '\x7f';  // ~2^55 bytes declared
+    out.push_back(std::move(s));
+  }
+
+  // Trailing garbage after a complete frame (must not desync the reader
+  // for the *first* frame; the garbage itself is the next read's problem).
+  out.push_back(frame + std::string(13, '\xee'));
+  return out;
+}
+
 /// In-memory CSR corruptions. The only mutable handle a valid Csr
 /// exposes is mutable_col_ind(), which is exactly the array the paper's
 /// kernels chase — corrupt it in ways validate() must catch.

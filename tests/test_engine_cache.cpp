@@ -1,0 +1,172 @@
+// EngineCache: fingerprinting, LRU eviction under a byte budget,
+// collision detection and pin-while-running semantics.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/serve/engine_cache.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace bspmv::serve {
+namespace {
+
+using bspmv::testing::random_blocky_coo;
+
+Csr<double> make_matrix(index_t n, std::uint64_t seed) {
+  return Csr<double>::from_coo(
+      random_blocky_coo<double>(n, n, 2, 0.4, 0.9, seed));
+}
+
+/// A cache entry with a real (tiny) engine and a chosen byte charge.
+std::shared_ptr<const CachedEngine> make_entry(const Csr<double>& a,
+                                               std::size_t bytes) {
+  CachedEngine e{matrix_key(a),
+                 SpmvEngine<double>::prepare(a, Candidate{}),
+                 "csr_scalar",
+                 /*fallback=*/false,
+                 /*degraded=*/false,
+                 bytes,
+                 /*prepare_seconds=*/0.0};
+  return std::make_shared<const CachedEngine>(std::move(e));
+}
+
+TEST(MatrixFingerprint, DeterministicAndContentSensitive) {
+  const Csr<double> a = make_matrix(40, 1);
+  const Csr<double> same = make_matrix(40, 1);
+  EXPECT_EQ(matrix_fingerprint(a), matrix_fingerprint(same));
+
+  const Csr<double> other_seed = make_matrix(40, 2);
+  EXPECT_NE(matrix_fingerprint(a), matrix_fingerprint(other_seed));
+
+  // Same structure, one value nudged: fingerprint must move.
+  ASSERT_GT(a.nnz(), 0u);
+  auto val = a.val();
+  val[0] += 1.0;
+  const Csr<double> tweaked(a.rows(), a.cols(), a.row_ptr(), a.col_ind(),
+                            std::move(val));
+  EXPECT_NE(matrix_fingerprint(a), matrix_fingerprint(tweaked));
+}
+
+TEST(EngineCache, HitMissAndCounters) {
+  EngineCache cache(1 << 20);
+  const Csr<double> a = make_matrix(30, 3);
+  const MatrixKey key = matrix_key(a);
+
+  EXPECT_EQ(cache.find(key), nullptr);
+  cache.insert(make_entry(a, 100));
+  auto hit = cache.find(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->key, key);
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.bytes, 100u);
+}
+
+TEST(EngineCache, EvictsLeastRecentlyUsedUnderBytePressure) {
+  // Budget fits three 100-byte entries; inserting a fourth evicts the
+  // least recently *used*, not the oldest inserted.
+  EngineCache cache(300);
+  const Csr<double> a = make_matrix(20, 10);
+  const Csr<double> b = make_matrix(20, 11);
+  const Csr<double> c = make_matrix(20, 12);
+  const Csr<double> d = make_matrix(20, 13);
+
+  cache.insert(make_entry(a, 100));
+  cache.insert(make_entry(b, 100));
+  cache.insert(make_entry(c, 100));
+
+  // Touch `a` so `b` becomes the LRU tail.
+  ASSERT_NE(cache.find(matrix_key(a)), nullptr);
+  cache.insert(make_entry(d, 100));
+
+  EXPECT_NE(cache.find(matrix_key(a)), nullptr);
+  EXPECT_EQ(cache.find(matrix_key(b)), nullptr) << "LRU entry must go first";
+  EXPECT_NE(cache.find(matrix_key(c)), nullptr);
+  EXPECT_NE(cache.find(matrix_key(d)), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.stats().bytes, 300u);
+}
+
+TEST(EngineCache, OversizedEntryAdmittedAlone) {
+  EngineCache cache(250);
+  const Csr<double> a = make_matrix(20, 20);
+  const Csr<double> big = make_matrix(20, 21);
+
+  cache.insert(make_entry(a, 100));
+  cache.insert(make_entry(big, 10'000));  // larger than the whole budget
+
+  EXPECT_EQ(cache.find(matrix_key(a)), nullptr);
+  EXPECT_NE(cache.find(matrix_key(big)), nullptr);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(EngineCache, HashCollisionDetectedNeverServed) {
+  EngineCache cache(1 << 20);
+  const Csr<double> a = make_matrix(24, 30);
+  cache.insert(make_entry(a, 50));
+
+  // Forge a key with the resident hash but different dimensions — the
+  // cache must refuse to serve the resident engine for it.
+  MatrixKey forged = matrix_key(a);
+  forged.rows += 1;
+  EXPECT_EQ(cache.find(forged), nullptr);
+  EXPECT_EQ(cache.stats().collisions, 1u);
+
+  // The honest key still hits.
+  EXPECT_NE(cache.find(matrix_key(a)), nullptr);
+}
+
+TEST(EngineCache, PinWhileRunningSurvivesEviction) {
+  EngineCache cache(100);
+  const Csr<double> a = make_matrix(32, 40);
+  const Csr<double> b = make_matrix(32, 41);
+
+  cache.insert(make_entry(a, 80));
+  auto pinned = cache.find(matrix_key(a));
+  ASSERT_NE(pinned, nullptr);
+
+  // Force eviction of `a` while we still hold it.
+  cache.insert(make_entry(b, 80));
+  EXPECT_EQ(cache.find(matrix_key(a)), nullptr);
+
+  // The pinned engine still runs correctly: compare to the CSR kernel.
+  std::vector<double> x(static_cast<std::size_t>(a.cols()), 1.0);
+  std::vector<double> y(static_cast<std::size_t>(a.rows()), 0.0);
+  std::vector<double> ref(static_cast<std::size_t>(a.rows()), 0.0);
+  pinned->engine.run(x.data(), y.data());
+  a.to_coo().spmv_reference(x.data(), ref.data());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_DOUBLE_EQ(y[i], ref[i]);
+}
+
+TEST(EngineCache, EraseAndClear) {
+  EngineCache cache(1 << 20);
+  const Csr<double> a = make_matrix(16, 50);
+  cache.insert(make_entry(a, 10));
+  EXPECT_TRUE(cache.erase(matrix_key(a).hash));
+  EXPECT_FALSE(cache.erase(matrix_key(a).hash));
+  cache.insert(make_entry(a, 10));
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(EngineCache, ResidentHashesMruFirst) {
+  EngineCache cache(1 << 20);
+  const Csr<double> a = make_matrix(16, 60);
+  const Csr<double> b = make_matrix(16, 61);
+  cache.insert(make_entry(a, 10));
+  cache.insert(make_entry(b, 10));
+  ASSERT_NE(cache.find(matrix_key(a)), nullptr);  // a becomes MRU
+  const auto order = cache.resident_hashes();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], matrix_key(a).hash);
+  EXPECT_EQ(order[1], matrix_key(b).hash);
+}
+
+}  // namespace
+}  // namespace bspmv::serve

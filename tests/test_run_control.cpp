@@ -244,10 +244,17 @@ TEST(AtomicFile, ChecksummedRoundTripStripsTrailer) {
   EXPECT_EQ(read_file_checked(f.path()), "{\"bw\": 2.5e10}\n");
 }
 
-TEST(AtomicFile, ChecksumGlueGuardHandlesMissingNewline) {
+TEST(AtomicFile, ChecksummedRoundTripIsByteExact) {
+  // The trailer protocol must not disturb the payload — not even by one
+  // newline — or binary payloads (spooled matrices) would corrupt.
   TempFile f("atomic_no_newline.txt");
   atomic_write_file(f.path(), "no trailing newline", /*with_checksum=*/true);
-  EXPECT_EQ(read_file_checked(f.path()), "no trailing newline\n");
+  EXPECT_EQ(read_file_checked(f.path()), "no trailing newline");
+
+  // Hostile payload containing the trailer marker itself mid-stream.
+  const std::string binary{"\x00\x01\xff\n#bspmv-crc32:\x7f", 18};
+  atomic_write_file(f.path(), binary, /*with_checksum=*/true);
+  EXPECT_EQ(read_file_checked(f.path()), binary);
 }
 
 TEST(AtomicFile, DetectsFlippedPayloadByte) {
