@@ -15,6 +15,8 @@
 #include "src/core/engine.hpp"
 #include "src/core/executor.hpp"
 #include "src/core/heuristic.hpp"
+#include "src/core/models.hpp"
+#include "src/core/working_set.hpp"
 #include "src/core/reorder.hpp"
 #include "src/core/selector.hpp"
 #include "src/formats/permute.hpp"
@@ -160,6 +162,12 @@ int run(int argc, char** argv) {
   cli.add_option("reps", "2", "timed batches (minimum time reported)");
   cli.add_option("deadline-ms", "0",
                  "abort profiling/measurement after this many ms (exit 4)");
+  cli.add_option("rhs", "1",
+                 "right-hand sides per multiply; k > 1 measures SpMM "
+                 "through run_multi (docs/spmm.md)");
+  cli.add_option("layout", "row",
+                 "multi-vector layout with --rhs: row (interleaved) or "
+                 "col (vector-contiguous)");
   cli.add_flag("check-numerics",
                "scan vectors for NaN/Inf and verify output fingerprints");
   cli.add_flag("measure", "also measure the top candidates' real time");
@@ -204,6 +212,16 @@ int run(int argc, char** argv) {
               static_cast<double>(a.nnz()) /
                   static_cast<double>(vbl_block_count(a)));
 
+  const int rhs = static_cast<int>(cli.get_int("rhs"));
+  const std::string layout_str = cli.get("layout");
+  if (rhs < 1 || (layout_str != "row" && layout_str != "col")) {
+    std::fprintf(stderr,
+                 "error: --rhs needs k >= 1 and --layout must be row|col\n");
+    return 1;
+  }
+  const Layout layout =
+      layout_str == "col" ? Layout::kColMajor : Layout::kRowMajor;
+
   std::optional<RunControl> control_storage;
   RunControl* control = setup_control(cli, control_storage);
 
@@ -236,9 +254,27 @@ int run(int argc, char** argv) {
     std::printf("  %2zu. %-22s predicted %.3f ms", i + 1,
                 ranked[i].candidate.id().c_str(),
                 ranked[i].predicted_seconds * 1e3);
+    if (rhs > 1) {
+      // Per-k prediction from the multi-vector model extension: matrix
+      // traffic amortised across the batch (docs/spmm.md).
+      const double pk =
+          predict_spmm(ModelKind::kOverlap,
+                       candidate_cost(a, ranked[i].candidate), profile,
+                       Precision::kDouble, rhs, layout);
+      std::printf(" (k=%d %s: %.3f ms, %.3f ms/vec)", rhs,
+                  layout_name(layout), pk * 1e3, pk * 1e3 / rhs);
+    }
     if (cli.get_flag("measure")) {
       const auto engine = SpmvEngine<double>::prepare(a, ranked[i].candidate);
-      std::printf("  measured %.3f ms", engine.measure(mopt) * 1e3);
+      if (rhs > 1) {
+        // One multi-vector multiply per iteration through run_multi;
+        // the k=1 path below is byte-for-byte the single-vector tool.
+        const double t = engine.measure_multi(rhs, layout, mopt);
+        std::printf("  measured %.3f ms (%.3f ms/vec)", t * 1e3,
+                    t * 1e3 / rhs);
+      } else {
+        std::printf("  measured %.3f ms", engine.measure(mopt) * 1e3);
+      }
     }
     std::printf("\n");
   }

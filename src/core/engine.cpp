@@ -12,6 +12,10 @@ struct SpmvEngine<V>::TypedPlan final : SpmvEngine<V>::Plan {
            RunControl* control) const override {
     driver.run(x, y, impl, control);
   }
+  void run_multi(const V* X, V* Y, int k, Layout layout, Impl impl,
+                 RunControl* control) const override {
+    driver.run_multi(X, Y, k, layout, impl, control);
+  }
   ThreadedSpmv<F> driver;
 };
 
@@ -112,6 +116,34 @@ void SpmvEngine<V>::run(const V* x, V* y, RunControl* control,
 }
 
 template <class V>
+void SpmvEngine<V>::run_multi(const V* X, V* Y, int k, Layout layout) const {
+  if (plan_)
+    plan_->run_multi(X, Y, k, layout, fmt_->candidate().impl, nullptr);
+  else
+    fmt_->run_multi(X, Y, k, layout);
+}
+
+template <class V>
+void SpmvEngine<V>::run_multi(const V* X, V* Y, int k, Layout layout,
+                              RunControl* control,
+                              bool check_numerics) const {
+  if (check_numerics)
+    check_finite("run_multi: input block X", X,
+                 static_cast<std::size_t>(fmt_->cols()) *
+                     static_cast<std::size_t>(k));
+  if (control) control->check();
+  if (plan_)
+    plan_->run_multi(X, Y, k, layout, fmt_->candidate().impl, control);
+  else
+    fmt_->run_multi(X, Y, k, layout);
+  if (control) control->throw_if_aborted();
+  if (check_numerics)
+    check_finite("run_multi: output block Y", Y,
+                 static_cast<std::size_t>(fmt_->rows()) *
+                     static_cast<std::size_t>(k));
+}
+
+template <class V>
 double SpmvEngine<V>::measure(const MeasureOptions& opt) const {
   BSPMV_OBS_SPAN("measure");
   BSPMV_OBS_SPAN(plan_ ? "threaded" : "spmv");
@@ -121,6 +153,26 @@ double SpmvEngine<V>::measure(const MeasureOptions& opt) const {
           plan_->run(x, y, fmt_->candidate().impl, opt.control);
         else
           fmt_->run(x, y);
+      });
+}
+
+template <class V>
+double SpmvEngine<V>::measure_multi(int k, Layout layout,
+                                    const MeasureOptions& opt) const {
+  BSPMV_CHECK_MSG(k >= 1, "rhs count must be >= 1");
+  BSPMV_OBS_SPAN("measure");
+  BSPMV_OBS_SPAN(plan_ ? "threaded_multi" : "spmm");
+  // The X/Y blocks are rows·k and cols·k flat arrays regardless of
+  // layout, so the guarded loop's random input and finite/fingerprint
+  // scans carry over unchanged.
+  return detail::measure_guarded<V>(
+      fmt_->rows() * static_cast<index_t>(k),
+      fmt_->cols() * static_cast<index_t>(k), opt, [&](const V* x, V* y) {
+        if (plan_)
+          plan_->run_multi(x, y, k, layout, fmt_->candidate().impl,
+                           opt.control);
+        else
+          fmt_->run_multi(x, y, k, layout);
       });
 }
 

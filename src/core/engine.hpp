@@ -154,10 +154,27 @@ class SpmvEngine {
   void run(const V* x, V* y, RunControl* control,
            bool check_numerics = false) const;
 
+  /// Y = A·X for k right-hand sides through the current plan (X cols×k,
+  /// Y rows×k, laid out per `layout` — src/kernels/layout.hpp). The
+  /// matrix is streamed once across all k vectors in row-major layout;
+  /// k == 1 is exactly run(). See docs/spmm.md.
+  void run_multi(const V* X, V* Y, int k, Layout layout) const;
+
+  /// Guarded run_multi with the same RunControl / NaN-Inf rails as the
+  /// guarded run() overload.
+  void run_multi(const V* X, V* Y, int k, Layout layout,
+                 RunControl* control, bool check_numerics = false) const;
+
   /// Seconds per SpMV the way the paper measures it: repeated consecutive
   /// operations on a random input vector, minimum over reps. Honours
   /// opt.control and opt.check_numerics (see MeasureOptions).
   double measure(const MeasureOptions& opt = {}) const;
+
+  /// Seconds per SpMM (one multiply of all k vectors), same methodology
+  /// as measure(). Divide by k for the effective per-vector time the
+  /// crossover analysis compares against measure().
+  double measure_multi(int k, Layout layout,
+                       const MeasureOptions& opt = {}) const;
 
  private:
   SpmvEngine() = default;
@@ -169,6 +186,8 @@ class SpmvEngine {
     virtual ~Plan() = default;
     virtual void run(const V* x, V* y, Impl impl,
                      RunControl* control) const = 0;
+    virtual void run_multi(const V* X, V* Y, int k, Layout layout,
+                           Impl impl, RunControl* control) const = 0;
   };
   template <class F>
   struct TypedPlan;

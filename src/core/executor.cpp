@@ -66,6 +66,12 @@ void AnyFormat<V>::run(const V* x, V* y) const {
 }
 
 template <class V>
+void AnyFormat<V>::run_multi(const V* X, V* Y, int k, Layout layout) const {
+  const Impl impl = c_.impl;
+  visit([&](const auto& m) { spmm(m, X, Y, k, layout, impl); });
+}
+
+template <class V>
 std::optional<AnyFormat<V>> try_convert(const Csr<V>& a, const Candidate& c,
                                         std::string* reason) {
   try {

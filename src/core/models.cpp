@@ -118,6 +118,93 @@ double predict(ModelKind model, const CandidateCost& cost,
   return 0.0;
 }
 
+namespace {
+
+/// The MEMLAT multiplicative correction factor (1.0 for other models).
+double latency_factor(ModelKind model, const MachineProfile& profile,
+                      const IrregularityStats* irr) {
+  if (model != ModelKind::kMemLat) return 1.0;
+  BSPMV_CHECK_MSG(irr != nullptr,
+                  "MEMLAT model needs irregularity statistics");
+  const double xb = static_cast<double>(irr->x_bytes);
+  const double miss_fraction = xb > profile.private_cache_bytes
+                                   ? 1.0 - profile.private_cache_bytes / xb
+                                   : 0.0;
+  const double ratio = irr->nnz == 0
+                           ? 0.0
+                           : static_cast<double>(irr->irregular_lines) /
+                                 static_cast<double>(irr->nnz);
+  return 1.0 + kLatencyGamma * ratio * miss_fraction;
+}
+
+}  // namespace
+
+double predict_spmm(ModelKind model, const CandidateCost& cost,
+                    const MachineProfile& profile, Precision prec, int k,
+                    Layout layout, const IrregularityStats* irr) {
+  BSPMV_CHECK(k >= 1);
+  BSPMV_CHECK_MSG(profile.bandwidth_bps > 0,
+                  "machine profile has no measured bandwidth");
+  const double kd = static_cast<double>(k);
+  const double xy = static_cast<double>(cost.xy_bytes);
+  const double matrix = static_cast<double>(cost.matrix_ws());
+
+  // Matrix traffic: row-major streams the arrays once for all k vectors;
+  // col-major re-streams them per vector unless they are predicted to
+  // stay LLC-resident after the first pass.
+  double matrix_streams = 1.0;
+  if (layout == Layout::kColMajor && k > 1 &&
+      matrix > profile.effective_llc_bytes)
+    matrix_streams = kd;
+  const double t_mem =
+      (matrix * matrix_streams + kd * xy) / profile.bandwidth_bps;
+
+  // Every block is multiplied against k right-hand sides.
+  double t_comp = 0.0;
+  switch (model) {
+    case ModelKind::kMem:
+      break;
+    case ModelKind::kMemComp:
+      t_comp = kd * compute_time(cost, profile, prec, /*apply_nof=*/false);
+      break;
+    case ModelKind::kOverlap:
+    case ModelKind::kMemLat:
+      t_comp = kd * compute_time(cost, profile, prec, /*apply_nof=*/true);
+      break;
+  }
+  // First-order: the latency exposure of irregular x accesses carries
+  // over per vector touched, so the correction stays multiplicative.
+  return (t_mem + t_comp) * latency_factor(model, profile, irr);
+}
+
+int spmm_crossover_k(ModelKind model, const CandidateCost& blocked,
+                     const CandidateCost& csr,
+                     const MachineProfile& profile, Precision prec,
+                     Layout layout, const std::vector<int>& ks,
+                     const IrregularityStats* irr) {
+  for (int k : ks) {
+    const double tb =
+        predict_spmm(model, blocked, profile, prec, k, layout, irr);
+    const double tc = predict_spmm(model, csr, profile, prec, k, layout, irr);
+    if (tb < tc) return k;
+  }
+  return 0;
+}
+
+int spmm_layout_crossover_k(ModelKind model, const CandidateCost& cost,
+                            const MachineProfile& profile, Precision prec,
+                            const std::vector<int>& ks,
+                            const IrregularityStats* irr) {
+  for (int k : ks) {
+    const double tr = predict_spmm(model, cost, profile, prec, k,
+                                   Layout::kRowMajor, irr);
+    const double tc = predict_spmm(model, cost, profile, prec, k,
+                                   Layout::kColMajor, irr);
+    if (tr < tc) return k;
+  }
+  return 0;
+}
+
 double predict_multicore(ModelKind model, const CandidateCost& cost,
                          const MachineProfile& profile, Precision prec,
                          int threads) {

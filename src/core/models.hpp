@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/core/working_set.hpp"
+#include "src/kernels/layout.hpp"
 #include "src/profile/machine_profile.hpp"
 
 namespace bspmv {
@@ -58,6 +59,34 @@ double predict_overlap(const CandidateCost& cost,
 double predict_multicore(ModelKind model, const CandidateCost& cost,
                          const MachineProfile& profile, Precision prec,
                          int threads);
+
+/// Multi-vector (SpMM) extension of eq. (1)–(3): predicted seconds for
+/// ONE multiply of all k right-hand sides (divide by k for the effective
+/// per-vector time). The memory term splits cost into matrix traffic
+/// (streamed once for row-major; once per vector for col-major unless the
+/// matrix fits in the effective LLC) and x/y traffic (always ×k), while
+/// every compute term scales ×k. k == 1 equals predict() for either
+/// layout. Full derivation in docs/spmm.md.
+double predict_spmm(ModelKind model, const CandidateCost& cost,
+                    const MachineProfile& profile, Precision prec, int k,
+                    Layout layout, const IrregularityStats* irr = nullptr);
+
+/// Smallest k in `ks` (scanned in order) where `blocked` is predicted
+/// strictly faster than `csr` at that k for the given layout; 0 when the
+/// prediction never crosses within `ks`.
+int spmm_crossover_k(ModelKind model, const CandidateCost& blocked,
+                     const CandidateCost& csr,
+                     const MachineProfile& profile, Precision prec,
+                     Layout layout, const std::vector<int>& ks,
+                     const IrregularityStats* irr = nullptr);
+
+/// Smallest k in `ks` where row-major is predicted strictly faster than
+/// col-major for `cost`; 0 when it never crosses within `ks` (i.e. the
+/// matrix is predicted cache-resident throughout).
+int spmm_layout_crossover_k(ModelKind model, const CandidateCost& cost,
+                            const MachineProfile& profile, Precision prec,
+                            const std::vector<int>& ks,
+                            const IrregularityStats* irr = nullptr);
 
 #define BSPMV_DECL(V) \
   extern template IrregularityStats irregularity_stats(const Csr<V>&);

@@ -80,6 +80,9 @@ CandidateCost cost_with_cache(const Csr<V>& a, const Candidate& c,
   CandidateCost cost;
   cost.candidate = c;
   const std::size_t vecs = vectors_bytes(a);
+  // Every branch below accounts one x+y pair in its working set (the VBR
+  // estimator folds it into Vbr::working_set_bytes()).
+  cost.xy_bytes = vecs;
 
   switch (c.kind) {
     case FormatKind::kCsr: {

@@ -27,11 +27,21 @@ struct CostPart {
 struct CandidateCost {
   Candidate candidate;
   std::vector<CostPart> parts;
+  /// Bytes of one x + y vector pair. total_ws() includes exactly one such
+  /// pair; the k-aware SpMM models (predict_spmm) subtract it to isolate
+  /// the matrix traffic and scale the vector traffic by k.
+  std::size_t xy_bytes = 0;
 
   std::size_t total_ws() const {
     std::size_t s = 0;
     for (const auto& p : parts) s += p.ws_bytes;
     return s;
+  }
+
+  /// Matrix-array traffic only (total_ws minus the x/y pair).
+  std::size_t matrix_ws() const {
+    const std::size_t t = total_ws();
+    return t > xy_bytes ? t - xy_bytes : 0;
   }
 };
 

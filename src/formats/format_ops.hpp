@@ -26,6 +26,26 @@
 //   static index_t pass_first_row(const F&, int pass, index_t g);
 //   static void pass_run(const F&, int pass, index_t g0, index_t g1,
 //                        const V* x, V* y, Impl);             // accumulates
+//
+// Optional multi-vector (SpMM) members — every builtin format provides
+// them; out-of-tree formats that omit them still get the full
+// spmm/run_multi API through a single-vector fallback (the generic
+// front-ends detect the members with `requires`):
+//   static void spmm_add(const F&, const V* X, V* Y, int k, Layout, Impl);
+//   static void pass_run_multi(const F&, int pass, index_t g0, index_t g1,
+//                              const V* X, V* Y, int k, Layout, Impl);
+//   static void spmm_store(const F&, const V* X, V* Y, int k, Impl);
+// Row-major X/Y stream the matrix once across all k vectors (the native
+// kernels in src/kernels/spmm_kernels.hpp); column-major runs k
+// single-vector passes. Per vector the accumulation order equals the
+// scalar single-vector kernel (row-major) or the requested impl's kernel
+// (column-major) — see docs/spmm.md.
+//
+// spmm_store is the row-major full-multiply fast path: Y = A·X with
+// every Y element written exactly once, skipping the zero-fill pass and
+// the read half of the accumulate — spmm() uses it when present.
+// Identical values to zero-fill + spmm_add (up to the sign of an exact
+// zero result), same per-vector accumulation order.
 #pragma once
 
 #include <algorithm>
@@ -45,9 +65,12 @@
 #include "src/kernels/bcsd_kernels.hpp"
 #include "src/kernels/bcsr_kernels.hpp"
 #include "src/kernels/csr_kernels.hpp"
+#include "src/kernels/layout.hpp"
+#include "src/kernels/spmm_kernels.hpp"
 #include "src/kernels/ubcsr_kernels.hpp"
 #include "src/kernels/vbl_kernels.hpp"
 #include "src/kernels/vbr_kernels.hpp"
+#include "src/util/aligned.hpp"
 
 namespace bspmv {
 
@@ -55,6 +78,38 @@ namespace bspmv {
 /// FormatOps specialisation is a compile error at the point of use.
 template <class F>
 struct FormatOps;
+
+namespace detail {
+
+/// SpMM through k single-vector kernel runs — the column-major execution
+/// strategy for every format, and the row-major fallback for formats
+/// without a native interleaved kernel (UBCSR, VBR, CSR-delta, and any
+/// out-of-tree format). Row-major pays a deinterleave/reinterleave copy
+/// per vector; the formats with native kernels never take that path.
+template <class F, class V = typename FormatOps<F>::value_type>
+void spmm_add_via_spmv(const F& a, const V* X, V* Y, int k, Layout layout,
+                       Impl impl) {
+  const std::size_t rows = static_cast<std::size_t>(a.rows());
+  const std::size_t cols = static_cast<std::size_t>(a.cols());
+  if (layout == Layout::kColMajor) {
+    for (int j = 0; j < k; ++j)
+      FormatOps<F>::spmv_add(a, X + static_cast<std::size_t>(j) * cols,
+                             Y + static_cast<std::size_t>(j) * rows, impl);
+    return;
+  }
+  aligned_vector<V> x(cols), y(rows);
+  for (int j = 0; j < k; ++j) {
+    for (std::size_t i = 0; i < cols; ++i)
+      x[i] = X[i * static_cast<std::size_t>(k) + static_cast<std::size_t>(j)];
+    std::fill(y.begin(), y.end(), V{0});
+    FormatOps<F>::spmv_add(a, x.data(), y.data(), impl);
+    for (std::size_t i = 0; i < rows; ++i)
+      Y[i * static_cast<std::size_t>(k) + static_cast<std::size_t>(j)] +=
+          y[i];
+  }
+}
+
+}  // namespace detail
 
 // ------------------------------------------------------------------ CSR ----
 
@@ -74,6 +129,14 @@ struct FormatOps<Csr<V>> {
   static void spmv_add(const Csr<V>& a, const V* x, V* y, Impl impl) {
     pass_run(a, 0, 0, a.rows(), x, y, impl);
   }
+  static void spmm_add(const Csr<V>& a, const V* X, V* Y, int k,
+                       Layout layout, Impl impl) {
+    pass_run_multi(a, 0, 0, a.rows(), X, Y, k, layout, impl);
+  }
+  static void spmm_store(const Csr<V>& a, const V* X, V* Y, int k,
+                         Impl impl) {
+    csr_spmm_rm(a, 0, a.rows(), X, Y, k, impl == Impl::kSimd, false);
+  }
 
   static std::vector<std::size_t> pass_weights(const Csr<V>& a, int) {
     std::vector<std::size_t> w(static_cast<std::size_t>(a.rows()));
@@ -88,6 +151,18 @@ struct FormatOps<Csr<V>> {
       csr_spmv_simd(a, g0, g1, x, y);
     else
       csr_spmv_scalar(a, g0, g1, x, y);
+  }
+  static void pass_run_multi(const Csr<V>& a, int pass, index_t g0,
+                             index_t g1, const V* X, V* Y, int k,
+                             Layout layout, Impl impl) {
+    if (layout == Layout::kRowMajor) {
+      csr_spmm_rm(a, g0, g1, X, Y, k, impl == Impl::kSimd);
+    } else {
+      for (int j = 0; j < k; ++j)
+        pass_run(a, pass, g0, g1,
+                 X + static_cast<std::size_t>(j) * a.cols(),
+                 Y + static_cast<std::size_t>(j) * a.rows(), impl);
+    }
   }
 };
 
@@ -111,6 +186,16 @@ struct FormatOps<Bcsr<V>> {
   static void spmv_add(const Bcsr<V>& a, const V* x, V* y, Impl impl) {
     pass_run(a, 0, 0, a.block_rows(), x, y, impl);
   }
+  static void spmm_add(const Bcsr<V>& a, const V* X, V* Y, int k,
+                       Layout layout, Impl impl) {
+    pass_run_multi(a, 0, 0, a.block_rows(), X, Y, k, layout, impl);
+  }
+  /// Empty block rows still flush their (zero) accumulators, so every
+  /// row of Y is written even where the matrix stores nothing.
+  static void spmm_store(const Bcsr<V>& a, const V* X, V* Y, int k,
+                         Impl impl) {
+    bcsr_spmm_rm(a, 0, a.block_rows(), X, Y, k, impl == Impl::kSimd, false);
+  }
 
   /// Per-block-row stored values including padding (blocks · r · c).
   static std::vector<std::size_t> pass_weights(const Bcsr<V>& a, int) {
@@ -127,6 +212,18 @@ struct FormatOps<Bcsr<V>> {
   static void pass_run(const Bcsr<V>& a, int, index_t g0, index_t g1,
                        const V* x, V* y, Impl impl) {
     bcsr_kernel<V>(a.shape(), impl == Impl::kSimd)(a, g0, g1, x, y);
+  }
+  static void pass_run_multi(const Bcsr<V>& a, int pass, index_t g0,
+                             index_t g1, const V* X, V* Y, int k,
+                             Layout layout, Impl impl) {
+    if (layout == Layout::kRowMajor) {
+      bcsr_spmm_rm(a, g0, g1, X, Y, k, impl == Impl::kSimd);
+    } else {
+      for (int j = 0; j < k; ++j)
+        pass_run(a, pass, g0, g1,
+                 X + static_cast<std::size_t>(j) * a.cols(),
+                 Y + static_cast<std::size_t>(j) * a.rows(), impl);
+    }
   }
 };
 
@@ -150,6 +247,14 @@ struct FormatOps<Bcsd<V>> {
   static void spmv_add(const Bcsd<V>& a, const V* x, V* y, Impl impl) {
     pass_run(a, 0, 0, a.segments(), x, y, impl);
   }
+  static void spmm_add(const Bcsd<V>& a, const V* X, V* Y, int k,
+                       Layout layout, Impl impl) {
+    pass_run_multi(a, 0, 0, a.segments(), X, Y, k, layout, impl);
+  }
+  static void spmm_store(const Bcsd<V>& a, const V* X, V* Y, int k,
+                         Impl impl) {
+    bcsd_spmm_rm(a, 0, a.segments(), X, Y, k, impl == Impl::kSimd, false);
+  }
 
   /// Per-segment stored values including padding (diagonals · b).
   static std::vector<std::size_t> pass_weights(const Bcsd<V>& a, int) {
@@ -166,6 +271,18 @@ struct FormatOps<Bcsd<V>> {
   static void pass_run(const Bcsd<V>& a, int, index_t g0, index_t g1,
                        const V* x, V* y, Impl impl) {
     bcsd_kernel<V>(a.b(), impl == Impl::kSimd)(a, g0, g1, x, y);
+  }
+  static void pass_run_multi(const Bcsd<V>& a, int pass, index_t g0,
+                             index_t g1, const V* X, V* Y, int k,
+                             Layout layout, Impl impl) {
+    if (layout == Layout::kRowMajor) {
+      bcsd_spmm_rm(a, g0, g1, X, Y, k, impl == Impl::kSimd);
+    } else {
+      for (int j = 0; j < k; ++j)
+        pass_run(a, pass, g0, g1,
+                 X + static_cast<std::size_t>(j) * a.cols(),
+                 Y + static_cast<std::size_t>(j) * a.rows(), impl);
+    }
   }
 };
 
@@ -193,6 +310,20 @@ struct FormatOps<Vbl<V>> {
     else
       vbl_spmv_scalar(a, x, y);
   }
+  static void spmm_add(const Vbl<V>& a, const V* X, V* Y, int k,
+                       Layout layout, Impl impl) {
+    if (layout == Layout::kRowMajor) {
+      vbl_spmm_rm(a, X, Y, k, impl == Impl::kSimd);
+    } else {
+      for (int j = 0; j < k; ++j)
+        spmv_add(a, X + static_cast<std::size_t>(j) * a.cols(),
+                 Y + static_cast<std::size_t>(j) * a.rows(), impl);
+    }
+  }
+  static void spmm_store(const Vbl<V>& a, const V* X, V* Y, int k,
+                         Impl impl) {
+    vbl_spmm_rm(a, X, Y, k, impl == Impl::kSimd, false);
+  }
 };
 
 // ------------------------------------------------------------------ VBR ----
@@ -218,6 +349,10 @@ struct FormatOps<Vbr<V>> {
     else
       vbr_spmv_scalar(a, x, y);
   }
+  static void spmm_add(const Vbr<V>& a, const V* X, V* Y, int k,
+                       Layout layout, Impl impl) {
+    detail::spmm_add_via_spmv(a, X, Y, k, layout, impl);
+  }
 };
 
 // ------------------------------------------------------------- BCSR-DEC ----
@@ -242,6 +377,19 @@ struct FormatOps<BcsrDec<V>> {
     FormatOps<Bcsr<V>>::spmv_add(a.blocked(), x, y, impl);
     FormatOps<Csr<V>>::spmv_add(a.remainder(), x, y, impl);
   }
+  static void spmm_add(const BcsrDec<V>& a, const V* X, V* Y, int k,
+                       Layout layout, Impl impl) {
+    FormatOps<Bcsr<V>>::spmm_add(a.blocked(), X, Y, k, layout, impl);
+    FormatOps<Csr<V>>::spmm_add(a.remainder(), X, Y, k, layout, impl);
+  }
+  /// The blocked store pass initialises every row of Y (empty block rows
+  /// write zeros), so the CSR remainder can accumulate on top.
+  static void spmm_store(const BcsrDec<V>& a, const V* X, V* Y, int k,
+                         Impl impl) {
+    FormatOps<Bcsr<V>>::spmm_store(a.blocked(), X, Y, k, impl);
+    FormatOps<Csr<V>>::spmm_add(a.remainder(), X, Y, k, Layout::kRowMajor,
+                                impl);
+  }
 
   static std::vector<std::size_t> pass_weights(const BcsrDec<V>& a, int pass) {
     return pass == 0 ? FormatOps<Bcsr<V>>::pass_weights(a.blocked(), 0)
@@ -257,6 +405,16 @@ struct FormatOps<BcsrDec<V>> {
       FormatOps<Bcsr<V>>::pass_run(a.blocked(), 0, g0, g1, x, y, impl);
     else
       FormatOps<Csr<V>>::pass_run(a.remainder(), 0, g0, g1, x, y, impl);
+  }
+  static void pass_run_multi(const BcsrDec<V>& a, int pass, index_t g0,
+                             index_t g1, const V* X, V* Y, int k,
+                             Layout layout, Impl impl) {
+    if (pass == 0)
+      FormatOps<Bcsr<V>>::pass_run_multi(a.blocked(), 0, g0, g1, X, Y, k,
+                                         layout, impl);
+    else
+      FormatOps<Csr<V>>::pass_run_multi(a.remainder(), 0, g0, g1, X, Y, k,
+                                        layout, impl);
   }
 };
 
@@ -281,6 +439,17 @@ struct FormatOps<BcsdDec<V>> {
     FormatOps<Bcsd<V>>::spmv_add(a.blocked(), x, y, impl);
     FormatOps<Csr<V>>::spmv_add(a.remainder(), x, y, impl);
   }
+  static void spmm_add(const BcsdDec<V>& a, const V* X, V* Y, int k,
+                       Layout layout, Impl impl) {
+    FormatOps<Bcsd<V>>::spmm_add(a.blocked(), X, Y, k, layout, impl);
+    FormatOps<Csr<V>>::spmm_add(a.remainder(), X, Y, k, layout, impl);
+  }
+  static void spmm_store(const BcsdDec<V>& a, const V* X, V* Y, int k,
+                         Impl impl) {
+    FormatOps<Bcsd<V>>::spmm_store(a.blocked(), X, Y, k, impl);
+    FormatOps<Csr<V>>::spmm_add(a.remainder(), X, Y, k, Layout::kRowMajor,
+                                impl);
+  }
 
   static std::vector<std::size_t> pass_weights(const BcsdDec<V>& a, int pass) {
     return pass == 0 ? FormatOps<Bcsd<V>>::pass_weights(a.blocked(), 0)
@@ -296,6 +465,16 @@ struct FormatOps<BcsdDec<V>> {
       FormatOps<Bcsd<V>>::pass_run(a.blocked(), 0, g0, g1, x, y, impl);
     else
       FormatOps<Csr<V>>::pass_run(a.remainder(), 0, g0, g1, x, y, impl);
+  }
+  static void pass_run_multi(const BcsdDec<V>& a, int pass, index_t g0,
+                             index_t g1, const V* X, V* Y, int k,
+                             Layout layout, Impl impl) {
+    if (pass == 0)
+      FormatOps<Bcsd<V>>::pass_run_multi(a.blocked(), 0, g0, g1, X, Y, k,
+                                         layout, impl);
+    else
+      FormatOps<Csr<V>>::pass_run_multi(a.remainder(), 0, g0, g1, X, Y, k,
+                                        layout, impl);
   }
 };
 
@@ -320,6 +499,10 @@ struct FormatOps<Ubcsr<V>> {
     ubcsr_kernel<V>(a.shape(), impl == Impl::kSimd)(a, 0, a.block_rows(), x,
                                                     y);
   }
+  static void spmm_add(const Ubcsr<V>& a, const V* X, V* Y, int k,
+                       Layout layout, Impl impl) {
+    detail::spmm_add_via_spmv(a, X, Y, k, layout, impl);
+  }
 };
 
 // ------------------------------------------------------------ CSR-DELTA ----
@@ -343,6 +526,10 @@ struct FormatOps<CsrDelta<V>> {
   /// for API symmetry and ignored.
   static void spmv_add(const CsrDelta<V>& a, const V* x, V* y, Impl) {
     csr_delta_spmv(a, x, y);
+  }
+  static void spmm_add(const CsrDelta<V>& a, const V* X, V* Y, int k,
+                       Layout layout, Impl impl) {
+    detail::spmm_add_via_spmv(a, X, Y, k, layout, impl);
   }
 };
 

@@ -1,0 +1,29 @@
+// Memory layout of the multi-vector (SpMM) X and Y blocks.
+//
+// For k right-hand sides, X is a cols×k dense block and Y a rows×k
+// block. Two layouts are supported everywhere spmm/run_multi appear:
+//
+//   kRowMajor  element (i, j) at X[i·k + j] — the k values sharing a row
+//              index are adjacent ("interleaved"). This is the fast
+//              path: the kernels stream the matrix once and SIMD across
+//              the k vectors with contiguous loads (no gathers).
+//   kColMajor  element (i, j) at X[j·cols + i] — each vector is
+//              contiguous, the natural layout when k independent
+//              requests are stacked. Executed as k single-vector passes
+//              (the matrix is streamed k times), which is only
+//              competitive while the matrix stays cache-resident.
+//
+// Lives next to impl.hpp so low-level headers can name a Layout without
+// pulling in the SpMM front-end. docs/spmm.md derives the per-k and
+// per-layout working-set accounting.
+#pragma once
+
+namespace bspmv {
+
+enum class Layout { kRowMajor, kColMajor };
+
+inline const char* layout_name(Layout layout) {
+  return layout == Layout::kRowMajor ? "row" : "col";
+}
+
+}  // namespace bspmv

@@ -65,6 +65,18 @@ class ThreadedSpmv {
   /// an aborted run.
   void run(const V* x, V* y, Impl impl = Impl::kScalar,
            RunControl* control = nullptr) const;
+
+  /// Y = A·X for k right-hand sides in the given layout (X cols×k,
+  /// Y rows×k — see src/kernels/layout.hpp). Reuses the single-vector
+  /// granule partition: a granule's multi-vector work scales uniformly
+  /// by k, so the nnz-balanced bounds stay balanced. k == 1 is the
+  /// single-vector path (bitwise identical to run()); formats without
+  /// the pass_run_multi protocol fall back to one threaded run() per
+  /// vector. Cancellation behaves as in run(); Y is indeterminate after
+  /// an aborted run.
+  void run_multi(const V* X, V* Y, int k, Layout layout,
+                 Impl impl = Impl::kScalar,
+                 RunControl* control = nullptr) const;
   int threads() const { return threads_; }
 
  private:
@@ -137,6 +149,97 @@ void ThreadedSpmv<Format>::run(const V* x, V* y, Impl impl,
     BSPMV_OBS_THREAD_RECORD(metric.c_str(), tid, obs_timer,
                             part_weights_[static_cast<std::size_t>(tid)]);
 #endif
+  }
+}
+
+template <class Format>
+void ThreadedSpmv<Format>::run_multi(const V* X, V* Y, int k, Layout layout,
+                                     Impl impl, RunControl* control) const {
+  BSPMV_CHECK_MSG(k >= 1, "rhs count must be >= 1");
+  if (k == 1) {
+    // Both layouts coincide for a single vector; hit the existing path.
+    run(X, Y, impl, control);
+    return;
+  }
+  const std::size_t rows = static_cast<std::size_t>(a_->rows());
+  const std::size_t cols = static_cast<std::size_t>(a_->cols());
+  const std::size_t kk = static_cast<std::size_t>(k);
+  if constexpr (!requires(const Format& f, const V* x, V* y) {
+                  Ops::pass_run_multi(f, 0, index_t{0}, index_t{0}, x, y, 1,
+                                      Layout::kRowMajor, Impl::kScalar);
+                }) {
+    // Out-of-tree format without the multi-vector protocol: one threaded
+    // single-vector run() per right-hand side (row-major pays a
+    // deinterleave/reinterleave copy through scratch).
+    if (layout == Layout::kColMajor) {
+      for (int j = 0; j < k; ++j) {
+        if (control != nullptr && control->stop_requested()) return;
+        run(X + static_cast<std::size_t>(j) * cols,
+            Y + static_cast<std::size_t>(j) * rows, impl, control);
+      }
+    } else {
+      aligned_vector<V> x(cols), y(rows);
+      for (int j = 0; j < k; ++j) {
+        if (control != nullptr && control->stop_requested()) return;
+        for (std::size_t i = 0; i < cols; ++i)
+          x[i] = X[i * kk + static_cast<std::size_t>(j)];
+        run(x.data(), y.data(), impl, control);
+        for (std::size_t i = 0; i < rows; ++i)
+          Y[i * kk + static_cast<std::size_t>(j)] = y[i];
+      }
+    }
+    return;
+  } else {
+#pragma omp parallel num_threads(threads_)
+    {
+      const int tid = omp_get_thread_num();
+      BSPMV_OBS_THREAD_TIMER(obs_timer);
+      RunControl::ScopedCurrent ambient(control);
+      // Zero-fill a contiguous row range of Y in whichever layout.
+      const auto zero_rows = [&](index_t r0, index_t r1) {
+        if (layout == Layout::kRowMajor) {
+          std::fill(Y + static_cast<std::size_t>(r0) * kk,
+                    Y + static_cast<std::size_t>(r1) * kk, V{0});
+        } else {
+          for (std::size_t j = 0; j < kk; ++j)
+            std::fill(Y + j * rows + static_cast<std::size_t>(r0),
+                      Y + j * rows + static_cast<std::size_t>(r1), V{0});
+        }
+      };
+      for (int pass = 0; pass < Ops::kPasses; ++pass) {
+        if (pass > 0) {
+          // Same barrier discipline as run(): every thread reaches every
+          // pass barrier, aborted or not.
+#pragma omp barrier
+        }
+        const auto& bounds = bounds_[static_cast<std::size_t>(pass)];
+        const index_t g0 = bounds[static_cast<std::size_t>(tid)];
+        const index_t g1 = bounds[static_cast<std::size_t>(tid) + 1];
+        if (control == nullptr) {
+          if (pass == 0)
+            zero_rows(Ops::pass_first_row(*a_, 0, g0),
+                      Ops::pass_first_row(*a_, 0, g1));
+          Ops::pass_run_multi(*a_, pass, g0, g1, X, Y, k, layout, impl);
+        } else if (!control->stop_requested()) {
+          if (pass == 0)
+            zero_rows(Ops::pass_first_row(*a_, 0, g0),
+                      Ops::pass_first_row(*a_, 0, g1));
+          for (index_t g = g0; g < g1; g += kControlChunk) {
+            if (control->stop_requested()) break;  // one relaxed load
+            Ops::pass_run_multi(*a_, pass, g,
+                                std::min<index_t>(g1, g + kControlChunk), X,
+                                Y, k, layout, impl);
+            control->heartbeat(tid);
+          }
+        }
+      }
+#if defined(BSPMV_OBSERVE_HOOKS) && BSPMV_OBSERVE_HOOKS
+      static const std::string metric = std::string("spmm/") + Ops::kName;
+      BSPMV_OBS_THREAD_RECORD(metric.c_str(), tid, obs_timer,
+                              part_weights_[static_cast<std::size_t>(tid)] *
+                                  static_cast<std::size_t>(k));
+#endif
+    }
   }
 }
 

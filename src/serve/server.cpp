@@ -64,6 +64,21 @@ struct Server::Connection {
   }
 };
 
+/// Per-fingerprint batch box for the same-matrix SpMM batcher. Workers
+/// push their request and the first one in becomes the leader, draining
+/// the box in max_batch-sized rounds through run_multi; the others return
+/// to the pool immediately (their replies are sent by the leader).
+struct Server::SpmmBatch {
+  struct Pending {
+    std::shared_ptr<Connection> conn;
+    SpmvRequest req;
+    Timer timer;  ///< started at request decode; reply carries its elapsed
+  };
+  std::mutex mu;
+  std::vector<Pending> waiting;
+  bool leader_active = false;
+};
+
 struct Server::ServerStats {
   std::atomic<std::uint64_t> requests_total{0};
   std::atomic<std::uint64_t> requests_ok{0};
@@ -77,6 +92,8 @@ struct Server::ServerStats {
   std::atomic<std::uint64_t> stalls{0};
   std::atomic<std::uint64_t> numerical{0};
   std::atomic<std::uint64_t> degraded_served{0};
+  std::atomic<std::uint64_t> batch_rounds{0};   ///< run_multi calls, m >= 2
+  std::atomic<std::uint64_t> batched_spmvs{0};  ///< requests served in them
   std::atomic<std::uint64_t> spool_loads{0};
   std::atomic<std::uint64_t> spool_errors{0};
   std::atomic<std::uint64_t> connections{0};
@@ -529,7 +546,7 @@ void Server::handle_spmv(const std::shared_ptr<Connection>& conn,
                          const std::string& payload, int attempts) {
   BSPMV_OBS_SPAN("serve/spmv");
   Timer t;
-  const SpmvRequest req = SpmvRequest::decode(payload);
+  SpmvRequest req = SpmvRequest::decode(payload);
 
   std::shared_ptr<const CachedEngine> entry = cache_->find(req.fingerprint);
   if (!entry) {
@@ -571,6 +588,11 @@ void Server::handle_spmv(const std::shared_ptr<Connection>& conn,
         " entries, matrix wants " + std::to_string(entry->key.cols));
   }
 
+  if (opt_.max_batch > 1) {
+    spmv_batched(conn, std::move(req), std::move(entry), t);
+    return;
+  }
+
   // Per-request deadline budget carved from RunControl: the requested
   // budget (or the server default), capped by the server maximum.
   RunControl control;
@@ -610,6 +632,155 @@ void Server::handle_spmv(const std::shared_ptr<Connection>& conn,
   send_reply(conn, MsgType::kSpmvOk, rep.encode());
   stats_->requests_ok.fetch_add(1, std::memory_order_relaxed);
   record_success();
+}
+
+void Server::spmv_batched(const std::shared_ptr<Connection>& conn,
+                          SpmvRequest&& req,
+                          std::shared_ptr<const CachedEngine> entry,
+                          Timer t) {
+  const std::uint64_t fp = req.fingerprint;
+  std::shared_ptr<SpmmBatch> batch;
+  {
+    std::lock_guard<std::mutex> lock(batches_mu_);
+    auto& slot = batches_[fp];
+    if (!slot) slot = std::make_shared<SpmmBatch>();
+    batch = slot;
+  }
+  {
+    std::lock_guard<std::mutex> lock(batch->mu);
+    batch->waiting.push_back(SpmmBatch::Pending{conn, std::move(req), t});
+    if (batch->leader_active) {
+      // A leader is already draining this fingerprint; it will pick this
+      // request up before retiring, so this worker is free again.
+      return;
+    }
+    batch->leader_active = true;
+  }
+
+  // Leader: drain in rounds until the box stays empty. The emptiness
+  // re-check under the lock before clearing leader_active closes the
+  // window where a straggler enqueued after the previous round.
+  for (;;) {
+    std::vector<SpmmBatch::Pending> take;
+    {
+      std::lock_guard<std::mutex> lock(batch->mu);
+      if (batch->waiting.empty()) {
+        batch->leader_active = false;
+        break;
+      }
+      const std::size_t n =
+          std::min(batch->waiting.size(),
+                   static_cast<std::size_t>(opt_.max_batch));
+      take.assign(std::make_move_iterator(batch->waiting.begin()),
+                  std::make_move_iterator(batch->waiting.begin() +
+                                          static_cast<std::ptrdiff_t>(n)));
+      batch->waiting.erase(batch->waiting.begin(),
+                           batch->waiting.begin() +
+                               static_cast<std::ptrdiff_t>(n));
+    }
+
+    const int m = static_cast<int>(take.size());
+    const auto rows = static_cast<std::size_t>(entry->key.rows);
+    const auto cols = static_cast<std::size_t>(entry->key.cols);
+
+    // One RunControl for the round: the tightest member budget bounds the
+    // whole batch (a batch must never outlive any member's deadline).
+    RunControl control;
+    double budget = 0.0;
+    bool check_numerics = false;
+    for (const auto& p : take) {
+      const double b = p.req.deadline_seconds > 0
+                           ? p.req.deadline_seconds
+                           : opt_.default_deadline_seconds;
+      if (b > 0) budget = budget > 0 ? std::min(budget, b) : b;
+      check_numerics = check_numerics || p.req.check_numerics;
+    }
+    if (budget > 0) {
+      budget = std::min(budget, opt_.max_deadline_seconds);
+      control.set_deadline(budget);
+    }
+    control.set_stall_timeout(opt_.stall_timeout_seconds);
+    control.set_watchdog_poll(opt_.watchdog_poll_seconds);
+    Watchdog watchdog(control);
+
+    const auto fail_all = [&](ErrorCode code, const std::string& message) {
+      for (const auto& p : take) {
+        send_error(p.conn, code, message);
+        stats_->requests_error.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+
+    try {
+      std::vector<SpmvReply> reps(take.size());
+      if (m == 1) {
+        // Lone request in the round: the plain single-vector path.
+        reps[0].y.resize(rows);
+        entry->engine.run(take[0].req.x.data(), reps[0].y.data(), &control,
+                          check_numerics);
+      } else {
+        stats_->batch_rounds.fetch_add(1, std::memory_order_relaxed);
+        stats_->batched_spmvs.fetch_add(static_cast<std::uint64_t>(m),
+                                        std::memory_order_relaxed);
+        BSPMV_OBS_COUNT("serve.batch_rounds", 1);
+        BSPMV_OBS_COUNT("serve.batched_spmvs", m);
+        // Gather the members' vectors into one row-major (interleaved)
+        // block, stream the matrix once for all of them, and scatter the
+        // outputs back per request.
+        aligned_vector<double> X(cols * take.size());
+        aligned_vector<double> Y(rows * take.size());
+        for (std::size_t j = 0; j < take.size(); ++j) {
+          const auto& x = take[j].req.x;
+          for (std::size_t i = 0; i < cols; ++i)
+            X[i * take.size() + j] = x[i];
+        }
+        entry->engine.run_multi(X.data(), Y.data(), m, Layout::kRowMajor,
+                                &control, check_numerics);
+        for (std::size_t j = 0; j < take.size(); ++j) {
+          reps[j].y.resize(rows);
+          for (std::size_t i = 0; i < rows; ++i)
+            reps[j].y[i] = Y[i * take.size() + j];
+        }
+      }
+      const bool degraded = entry->degraded || degrade_level() > 0;
+      for (std::size_t j = 0; j < take.size(); ++j) {
+        reps[j].server_seconds = take[j].timer.elapsed();
+        reps[j].degraded = degraded;
+        if (degraded)
+          stats_->degraded_served.fetch_add(1, std::memory_order_relaxed);
+        send_reply(take[j].conn, MsgType::kSpmvOk, reps[j].encode());
+        stats_->requests_ok.fetch_add(1, std::memory_order_relaxed);
+        record_success();
+      }
+    } catch (const timeout_error& e) {
+      if (control.reason() == AbortReason::kStalled) {
+        stats_->stalls.fetch_add(1, std::memory_order_relaxed);
+        record_stall();
+      }
+      stats_->timeouts.fetch_add(1, std::memory_order_relaxed);
+      BSPMV_OBS_COUNT("serve.timeouts", 1);
+      fail_all(error_code_for(e), e.what());
+    } catch (const numerical_error& e) {
+      stats_->numerical.fetch_add(1, std::memory_order_relaxed);
+      BSPMV_OBS_COUNT("serve.numerical", 1);
+      fail_all(error_code_for(e), e.what());
+    } catch (const error& e) {
+      fail_all(error_code_for(e), e.what());
+    } catch (const std::exception& e) {
+      fail_all(ErrorCode::kError, std::string("internal: ") + e.what());
+    }
+  }
+
+  // Retire the box when idle so the map only tracks live fingerprints. A
+  // racing enqueue that became leader in the meantime keeps it alive.
+  {
+    std::lock_guard<std::mutex> lock(batches_mu_);
+    auto it = batches_.find(fp);
+    if (it != batches_.end() && it->second == batch) {
+      std::lock_guard<std::mutex> inner(batch->mu);
+      if (batch->waiting.empty() && !batch->leader_active)
+        batches_.erase(it);
+    }
+  }
 }
 
 // ------------------------------------------------------- degradation ----
@@ -682,6 +853,8 @@ Json Server::stats_json() const {
   req["stalls"] = stats_->stalls.load();
   req["numerical"] = stats_->numerical.load();
   req["degraded_served"] = stats_->degraded_served.load();
+  req["batch_rounds"] = stats_->batch_rounds.load();
+  req["batched_spmvs"] = stats_->batched_spmvs.load();
 
   Json::Object spool;
   spool["loads"] = stats_->spool_loads.load();
@@ -701,6 +874,7 @@ Json Server::stats_json() const {
   o["connections"] = stats_->connections.load();
   o["workers"] = opt_.workers;
   o["engine_threads"] = opt_.engine_threads;
+  o["max_batch"] = opt_.max_batch;
   return Json(std::move(o));
 }
 

@@ -40,6 +40,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -47,6 +48,7 @@
 #include "src/serve/engine_cache.hpp"
 #include "src/serve/protocol.hpp"
 #include "src/util/json.hpp"
+#include "src/util/timing.hpp"
 
 namespace bspmv::serve {
 
@@ -75,6 +77,13 @@ struct ServerOptions {
 
   int max_retries = 5;            ///< requeue attempts (engine busy)
   double backoff_base_seconds = 0.005;  ///< doubles per attempt
+
+  /// Same-matrix batching: concurrent spmv requests against one cached
+  /// engine are gathered (up to this many) into a single run_multi SpMM
+  /// call, streaming the matrix once for the whole batch (docs/spmm.md).
+  /// <= 1 disables batching and every request runs the single-vector
+  /// path.
+  int max_batch = 8;
 
   int stall_strikes_to_degrade = 2;  ///< stalls before the ladder climbs
 
@@ -117,6 +126,7 @@ class Server {
  private:
   struct Connection;
   struct ServerStats;
+  struct SpmmBatch;
 
   void accept_loop();
   void worker_loop();
@@ -135,6 +145,15 @@ class Server {
                      const std::string& payload, int attempts);
   void handle_spmv(const std::shared_ptr<Connection>& conn,
                    const std::string& payload, int attempts);
+
+  /// Same-matrix batcher (opt_.max_batch > 1): enqueue the request under
+  /// its fingerprint's batch box; the first worker in becomes the leader
+  /// and drains the box — gathering up to max_batch requests into one
+  /// run_multi call per round — while followers return to the pool
+  /// immediately.
+  void spmv_batched(const std::shared_ptr<Connection>& conn,
+                    SpmvRequest&& req,
+                    std::shared_ptr<const CachedEngine> entry, Timer t);
 
   /// Requeue a busy request with exponential backoff; replies overloaded
   /// once attempts exceed max_retries. Returns true if requeued.
@@ -184,6 +203,9 @@ class Server {
 
   std::mutex preparing_mu_;
   std::unordered_set<std::uint64_t> preparing_;
+
+  std::mutex batches_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<SpmmBatch>> batches_;
 
   std::atomic<int> stall_strikes_{0};
 

@@ -46,6 +46,9 @@ int main(int argc, char** argv) {
   cli.add_option("prepare-deadline", "60",
                  "budget for one engine preparation in seconds");
   cli.add_option("max-frame-mb", "64", "largest accepted frame in MiB");
+  cli.add_option("max-batch", "8",
+                 "gather up to this many concurrent same-matrix spmv "
+                 "requests into one batched SpMM run (<= 1 disables)");
   cli.add_flag("no-measure",
                "skip measured candidate selection on prepare (take the "
                "first candidate that converts)");
@@ -68,6 +71,7 @@ int main(int argc, char** argv) {
     opt.prepare_deadline_seconds = cli.get_double("prepare-deadline");
     opt.wire.max_frame_bytes =
         static_cast<std::size_t>(cli.get_int("max-frame-mb")) << 20;
+    opt.max_batch = static_cast<int>(cli.get_int("max-batch"));
     opt.prepare_measure = !cli.get_flag("no-measure");
     opt.simd = !cli.get_flag("no-simd");
 
