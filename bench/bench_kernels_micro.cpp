@@ -1,10 +1,23 @@
 // google-benchmark microbenchmarks of the individual SpMV kernels on a
 // fixed FEM-like matrix: per-format, per-shape, scalar vs SIMD. These are
 // the per-kernel numbers behind the t_b profile.
+//
+// The exec/ group benches the two Executor backends (docs/tasking.md)
+// head-to-head through SpmvEngine: bulk-synchronous OpenMP vs the
+// work-stealing task graph, on the balanced band matrix (where tasks
+// must stay within a few percent of bulk) and on a skewed R-MAT (where
+// stealing should claw back the straggler time the static partition
+// loses).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string>
+#include <thread>
+
+#include "src/core/engine.hpp"
 #include "src/core/executor.hpp"
 #include "src/gen/generators.hpp"
+#include "src/parallel/backend.hpp"
 #include "src/util/prng.hpp"
 
 namespace bspmv {
@@ -38,6 +51,41 @@ void run_candidate(benchmark::State& state, const Candidate& c) {
       static_cast<double>(f.working_set_bytes()) / (1024.0 * 1024.0);
 }
 
+// Skewed counterpart of shared_matrix(): R-MAT power-law rows — a few
+// hubs carry most of the nonzeros, the worst case for a static
+// contiguous partition.
+const Csr<double>& skewed_matrix() {
+  static const Csr<double> a = Csr<double>::from_coo(
+      gen_rmat<double>(14, 300000, 0.57, 0.19, 0.19, 0xfeed));
+  return a;
+}
+
+void run_backend(benchmark::State& state, const Csr<double>& a,
+                 ExecBackend backend) {
+  // Bench at the machine's real width: oversubscribing (e.g. 2 threads on
+  // a 1-core container) measures context-switch pressure, not backends.
+  const int threads = static_cast<int>(std::clamp(
+      std::thread::hardware_concurrency(), 1u, 8u));
+  const Candidate c{FormatKind::kCsr, BlockShape{1, 1}, 0, Impl::kScalar};
+  const auto engine = SpmvEngine<double>::prepare(a, c, threads, backend);
+  aligned_vector<double> x(static_cast<std::size_t>(a.cols()));
+  Xoshiro256 rng(5);
+  for (auto& e : x) e = rng.uniform() - 0.5;
+  aligned_vector<double> y(static_cast<std::size_t>(a.rows()), 0.0);
+  engine.warm_up(x.data(), y.data());  // first-touch placement (tasks)
+
+  for (auto _ : state) {
+    engine.run(x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(a.nnz()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1000);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+
 void register_all() {
   for (const Candidate& c : bench_candidates(true, true)) {
     benchmark::RegisterBenchmark(c.id().c_str(),
@@ -46,6 +94,24 @@ void register_all() {
                                  })
         ->Unit(benchmark::kMicrosecond)
         ->MinTime(0.05);
+  }
+  for (ExecBackend backend : {ExecBackend::kBulk, ExecBackend::kTasks}) {
+    for (bool skewed : {false, true}) {
+      const std::string name = std::string("exec/") +
+                               (skewed ? "rmat_skewed/" : "band_balanced/") +
+                               backend_name(backend);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [backend, skewed](benchmark::State& s) {
+            run_backend(s, skewed ? skewed_matrix() : shared_matrix(),
+                        backend);
+          })
+          ->Unit(benchmark::kMicrosecond)
+          ->MinTime(0.10)
+          // Wall-clock rates: the task backend runs kernels on pool
+          // threads, so the bench thread's CPU time would inflate GFLOP/s.
+          ->UseRealTime();
+    }
   }
 }
 

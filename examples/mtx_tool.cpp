@@ -119,6 +119,8 @@ int run_report(const CliParser& cli) {
   ropt.measure.check_numerics = cli.get_flag("check-numerics");
   ropt.threads = static_cast<int>(cli.get_int("threads"));
   ropt.verbose = cli.get_flag("verbose");
+  // Invalid names throw invalid_argument_error -> exit code 1.
+  ropt.backend = parse_backend(cli.get("executor"));
 
   const observe::RunReport report =
       observe::build_run_report(a, name, profile, ropt);
@@ -168,6 +170,9 @@ int run(int argc, char** argv) {
   cli.add_option("layout", "row",
                  "multi-vector layout with --rhs: row (interleaved) or "
                  "col (vector-contiguous)");
+  cli.add_option("executor", "bulk",
+                 "parallel execution backend: bulk (OpenMP, default) or "
+                 "tasks (NUMA-aware work-stealing task graph)");
   cli.add_flag("check-numerics",
                "scan vectors for NaN/Inf and verify output fingerprints");
   cli.add_flag("measure", "also measure the top candidates' real time");
@@ -221,6 +226,12 @@ int run(int argc, char** argv) {
   }
   const Layout layout =
       layout_str == "col" ? Layout::kColMajor : Layout::kRowMajor;
+  // Validate eagerly even where only `report` consumes it, so a typo
+  // fails fast with exit code 1 instead of silently running bulk.
+  (void)parse_backend(cli.get("executor"));
+  // k-aware selection: with --rhs k > 1 every ranking below optimises
+  // one k-wide SpMM multiply instead of a single SpMV (docs/spmm.md).
+  const Workload workload{rhs, layout};
 
   std::optional<RunControl> control_storage;
   RunControl* control = setup_control(cli, control_storage);
@@ -230,21 +241,32 @@ int run(int argc, char** argv) {
   popt.control = control;
   const MachineProfile profile = load_or_profile(cli.get("profile"), popt);
 
-  std::printf("\nmodel selections:\n");
+  if (rhs > 1)
+    std::printf("\nmodel selections (k-aware, %d rhs, %s):\n", rhs,
+                layout_name(layout));
+  else
+    std::printf("\nmodel selections:\n");
   for (ModelKind m : {ModelKind::kMem, ModelKind::kMemComp,
                       ModelKind::kOverlap, ModelKind::kMemLat}) {
-    const RankedCandidate best = select_best(m, a, profile);
-    std::printf("  %-8s -> %-22s (predicted %.3f ms)\n", model_name(m),
-                best.candidate.id().c_str(), best.predicted_seconds * 1e3);
+    const RankedCandidate best = select_best(m, a, profile, workload);
+    std::printf("  %-8s -> %-22s (predicted %.3f ms%s)\n", model_name(m),
+                best.candidate.id().c_str(), best.predicted_seconds * 1e3,
+                rhs > 1 ? "/multiply" : "");
   }
   const HeuristicSelection h = select_bcsr_heuristic(a, profile);
   std::printf("  %-8s -> %-22s (predicted %.3f ms, est. fill %.2f)\n",
               "oski", h.candidate.id().c_str(), h.predicted_seconds * 1e3,
               h.est_fill);
 
-  const auto ranked = rank_candidates(ModelKind::kOverlap, a, profile);
+  const auto ranked =
+      rank_candidates(ModelKind::kOverlap, a, profile, workload);
   const auto top = static_cast<std::size_t>(cli.get_int("top"));
-  std::printf("\ntop %zu candidates by the OVERLAP model:\n", top);
+  if (rhs > 1)
+    std::printf("\ntop %zu candidates by the OVERLAP model (ranked by "
+                "k=%d multiply time):\n",
+                top, rhs);
+  else
+    std::printf("\ntop %zu candidates by the OVERLAP model:\n", top);
   MeasureOptions mopt;
   mopt.iterations = static_cast<int>(cli.get_int("iterations"));
   mopt.reps = static_cast<int>(cli.get_int("reps"));
@@ -255,14 +277,11 @@ int run(int argc, char** argv) {
                 ranked[i].candidate.id().c_str(),
                 ranked[i].predicted_seconds * 1e3);
     if (rhs > 1) {
-      // Per-k prediction from the multi-vector model extension: matrix
-      // traffic amortised across the batch (docs/spmm.md).
-      const double pk =
-          predict_spmm(ModelKind::kOverlap,
-                       candidate_cost(a, ranked[i].candidate), profile,
-                       Precision::kDouble, rhs, layout);
-      std::printf(" (k=%d %s: %.3f ms, %.3f ms/vec)", rhs,
-                  layout_name(layout), pk * 1e3, pk * 1e3 / rhs);
+      // Workload-aware ranking already predicted the whole k-wide
+      // multiply (matrix traffic amortised across the batch); show the
+      // effective per-vector time next to it.
+      std::printf(" (k=%d %s, %.3f ms/vec)", rhs, layout_name(layout),
+                  ranked[i].predicted_seconds * 1e3 / rhs);
     }
     if (cli.get_flag("measure")) {
       const auto engine = SpmvEngine<double>::prepare(a, ranked[i].candidate);

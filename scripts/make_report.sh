@@ -32,9 +32,13 @@ fi
 tool=build/examples/mtx_tool
 [ -x "$tool" ] || { echo "make_report: $tool not built" >&2; exit 1; }
 
+# Scratch per-suite reports land in reports/ (gitignored); only the
+# appended BENCH_report.json trajectory is checked in.
+mkdir -p reports
+
 # Small dense-ish, large sparse, and the paper's hardest irregular case.
 for id in 2 8 21; do
-  out="report_suite${id}.json"
+  out="reports/report_suite${id}.json"
   "$tool" report --suite "$id" --scale tiny --iterations 3 --reps 1 \
     --out "$out" --append BENCH_report.json
   "$tool" report --validate "$out"

@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
-# Build under ThreadSanitizer and run the watchdog/cancellation tests —
-# the std::thread-based concurrency introduced by RunControl/Watchdog
-# (deadline enforcement, first-abort-wins, heartbeat stall detection).
+# Build under ThreadSanitizer and run the OpenMP-free concurrency tests:
 #
-# Scope: only test_run_control is run. That binary is deliberately
-# OpenMP-free; TSan has well-known false positives with libgomp's
-# barrier/team implementation (it cannot see GOMP's internal
-# synchronisation), so the OpenMP drivers are excluded here and covered
-# by ASan/UBSan and the functional suite instead.
+#   - test_run_control: RunControl/Watchdog (deadline enforcement,
+#     first-abort-wins, heartbeat stall detection);
+#   - test_task_graph: the task-graph execution backend — Chase-Lev
+#     deque pop/steal races, TaskPool scheduling, and the steal-stress
+#     parity cases (7 workers over adversarially skewed generator
+#     matrices, docs/tasking.md). The deque deliberately uses seq_cst
+#     operations instead of standalone fences so TSan can actually
+#     verify these paths.
+#
+# Scope: only those two binaries. They are deliberately OpenMP-free;
+# TSan has well-known false positives with libgomp's barrier/team
+# implementation (it cannot see GOMP's internal synchronisation), so the
+# bulk-synchronous OpenMP drivers are excluded here and covered by
+# ASan/UBSan and the functional suite instead.
 #
 # Usage: scripts/run_tsan.sh [extra ctest args...]
 set -euo pipefail
@@ -20,9 +27,12 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DBSPMV_TSAN=ON \
   -DBSPMV_BUILD_BENCH=OFF \
   -DBSPMV_BUILD_EXAMPLES=OFF
-cmake --build "$build_dir" -j "$(nproc)" --target test_run_control
+cmake --build "$build_dir" -j "$(nproc)" \
+  --target test_run_control test_task_graph
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
 ctest --test-dir "$build_dir" --output-on-failure --timeout 300 \
-  -j "$(nproc)" -R '^(RunControl|Watchdog|AtomicFile|RobustSamples|Numerics)\.' "$@"
+  -j "$(nproc)" \
+  -R '^(RunControl|Watchdog|AtomicFile|RobustSamples|Numerics|Backend|WorkQueue|Topology|TaskPool|TaskStress|TaskGraph|Threads/TaskGraphParity)\.' \
+  "$@"

@@ -9,8 +9,10 @@ namespace bspmv {
 
 template <class V>
 std::vector<RankedCandidate> rank_candidates(ModelKind model, const Csr<V>& a,
-                                             const MachineProfile& profile) {
+                                             const MachineProfile& profile,
+                                             const Workload& workload) {
   BSPMV_OBS_SPAN("rank");
+  BSPMV_CHECK_MSG(workload.k >= 1, "workload rhs count must be >= 1");
   const bool include_simd = model != ModelKind::kMem;
   const std::vector<Candidate> candidates = model_candidates(include_simd);
   const std::vector<CandidateCost> costs = all_candidate_costs(a, candidates);
@@ -21,10 +23,16 @@ std::vector<RankedCandidate> rank_candidates(ModelKind model, const Csr<V>& a,
 
   std::vector<RankedCandidate> out;
   out.reserve(costs.size());
-  for (const CandidateCost& cost : costs)
-    out.push_back(RankedCandidate{
-        cost.candidate, predict(model, cost, profile, prec, &irr)});
+  for (const CandidateCost& cost : costs) {
+    const double seconds =
+        workload.k > 1
+            ? predict_spmm(model, cost, profile, prec, workload.k,
+                           workload.layout, &irr)
+            : predict(model, cost, profile, prec, &irr);
+    out.push_back(RankedCandidate{cost.candidate, seconds});
+  }
   BSPMV_OBS_COUNT("select.candidates_ranked", out.size());
+  if (workload.k > 1) BSPMV_OBS_COUNT("select.k_aware_rankings", 1);
 
   std::stable_sort(out.begin(), out.end(),
                    [](const RankedCandidate& x, const RankedCandidate& y) {
@@ -36,31 +44,58 @@ std::vector<RankedCandidate> rank_candidates(ModelKind model, const Csr<V>& a,
 }
 
 template <class V>
+std::vector<RankedCandidate> rank_candidates(ModelKind model, const Csr<V>& a,
+                                             const MachineProfile& profile) {
+  return rank_candidates(model, a, profile, Workload{});
+}
+
+template <class V>
 RankedCandidate select_best(ModelKind model, const Csr<V>& a,
-                            const MachineProfile& profile) {
-  const auto ranked = rank_candidates(model, a, profile);
+                            const MachineProfile& profile,
+                            const Workload& workload) {
+  const auto ranked = rank_candidates(model, a, profile, workload);
   BSPMV_CHECK(!ranked.empty());
   return ranked.front();
 }
 
 template <class V>
+RankedCandidate select_best(ModelKind model, const Csr<V>& a,
+                            const MachineProfile& profile) {
+  return select_best(model, a, profile, Workload{});
+}
+
+template <class V>
 PreparedExecutor<V> select_and_prepare(ModelKind model, const Csr<V>& a,
-                                       const MachineProfile& profile) {
+                                       const MachineProfile& profile,
+                                       const Workload& workload) {
   BSPMV_OBS_SPAN("select");
-  const auto ranked = rank_candidates(model, a, profile);
+  const auto ranked = rank_candidates(model, a, profile, workload);
   std::vector<Candidate> candidates;
   candidates.reserve(ranked.size());
   for (const RankedCandidate& rc : ranked) candidates.push_back(rc.candidate);
   return try_prepare(a, candidates);
 }
 
-#define BSPMV_INST(V)                                           \
-  template std::vector<RankedCandidate> rank_candidates(        \
-      ModelKind, const Csr<V>&, const MachineProfile&);         \
-  template RankedCandidate select_best(ModelKind, const Csr<V>&, \
-                                       const MachineProfile&);  \
-  template PreparedExecutor<V> select_and_prepare(              \
-      ModelKind, const Csr<V>&, const MachineProfile&);
+template <class V>
+PreparedExecutor<V> select_and_prepare(ModelKind model, const Csr<V>& a,
+                                       const MachineProfile& profile) {
+  return select_and_prepare(model, a, profile, Workload{});
+}
+
+#define BSPMV_INST(V)                                                     \
+  template std::vector<RankedCandidate> rank_candidates(                  \
+      ModelKind, const Csr<V>&, const MachineProfile&);                   \
+  template std::vector<RankedCandidate> rank_candidates(                  \
+      ModelKind, const Csr<V>&, const MachineProfile&, const Workload&);  \
+  template RankedCandidate select_best(ModelKind, const Csr<V>&,          \
+                                       const MachineProfile&);            \
+  template RankedCandidate select_best(ModelKind, const Csr<V>&,          \
+                                       const MachineProfile&,             \
+                                       const Workload&);                  \
+  template PreparedExecutor<V> select_and_prepare(                        \
+      ModelKind, const Csr<V>&, const MachineProfile&);                   \
+  template PreparedExecutor<V> select_and_prepare(                        \
+      ModelKind, const Csr<V>&, const MachineProfile&, const Workload&);
 BSPMV_INST(float)
 BSPMV_INST(double)
 #undef BSPMV_INST

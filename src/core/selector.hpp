@@ -15,7 +15,19 @@ namespace bspmv {
 
 struct RankedCandidate {
   Candidate candidate;
+  /// Predicted seconds per operation: one SpMV for k == 1 workloads, one
+  /// whole SpMM multiply (all k vectors) otherwise.
   double predicted_seconds = 0.0;
+};
+
+/// The runtime workload a selection should optimise for. The default is
+/// the classic single-vector SpMV; declaring k > 1 makes every entry
+/// point below rank by predict_spmm for that batch width and layout
+/// instead of predict — the best single-vector candidate is often not
+/// the best k-vector one (docs/spmm.md crossover analysis).
+struct Workload {
+  int k = 1;
+  Layout layout = Layout::kRowMajor;
 };
 
 /// Rank every model candidate for matrix `a` under `model`, fastest
@@ -28,10 +40,23 @@ template <class V>
 std::vector<RankedCandidate> rank_candidates(ModelKind model, const Csr<V>& a,
                                              const MachineProfile& profile);
 
+/// Workload-aware ranking: like the overload above for workload.k == 1,
+/// otherwise ranked by predicted seconds of one k-wide SpMM multiply.
+template <class V>
+std::vector<RankedCandidate> rank_candidates(ModelKind model, const Csr<V>& a,
+                                             const MachineProfile& profile,
+                                             const Workload& workload);
+
 /// The model's selection: the top-ranked candidate.
 template <class V>
 RankedCandidate select_best(ModelKind model, const Csr<V>& a,
                             const MachineProfile& profile);
+
+/// Workload-aware selection.
+template <class V>
+RankedCandidate select_best(ModelKind model, const Csr<V>& a,
+                            const MachineProfile& profile,
+                            const Workload& workload);
 
 /// Fault-tolerant selection: rank with the model, then materialise the
 /// best candidate that actually converts and validates, falling back to
@@ -43,13 +68,25 @@ template <class V>
 PreparedExecutor<V> select_and_prepare(ModelKind model, const Csr<V>& a,
                                        const MachineProfile& profile);
 
+/// Workload-aware fault-tolerant selection.
+template <class V>
+PreparedExecutor<V> select_and_prepare(ModelKind model, const Csr<V>& a,
+                                       const MachineProfile& profile,
+                                       const Workload& workload);
+
 #define BSPMV_DECL(V)                                                  \
   extern template std::vector<RankedCandidate> rank_candidates(        \
       ModelKind, const Csr<V>&, const MachineProfile&);                \
+  extern template std::vector<RankedCandidate> rank_candidates(        \
+      ModelKind, const Csr<V>&, const MachineProfile&, const Workload&); \
   extern template RankedCandidate select_best(ModelKind, const Csr<V>&, \
                                               const MachineProfile&);  \
+  extern template RankedCandidate select_best(                         \
+      ModelKind, const Csr<V>&, const MachineProfile&, const Workload&); \
   extern template PreparedExecutor<V> select_and_prepare(              \
-      ModelKind, const Csr<V>&, const MachineProfile&);
+      ModelKind, const Csr<V>&, const MachineProfile&);                \
+  extern template PreparedExecutor<V> select_and_prepare(              \
+      ModelKind, const Csr<V>&, const MachineProfile&, const Workload&);
 BSPMV_DECL(float)
 BSPMV_DECL(double)
 #undef BSPMV_DECL

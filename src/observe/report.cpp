@@ -381,7 +381,7 @@ RunReport build_run_report(const Csr<V>& a, const std::string& name,
   // per-thread kernel time + assigned weights into the registry.
   try {
     (void)measure_threaded_seconds(a, prep.format.candidate(), r.threads,
-                                   opt.measure);
+                                   opt.measure, opt.backend);
   } catch (const error&) {
     // Chosen format not parallelised (cannot happen for model candidates,
     // which are all §V-A formats; kept as a guard for future sets).

@@ -122,6 +122,12 @@ struct ReportOptions {
   int threads = 0;             ///< 0 = omp_get_max_threads()
   bool measure_candidates = true;  ///< measure every candidate (Fig. 3 view)
   bool verbose = false;        ///< progress on stderr
+  /// Execution backend of the multithreaded timing step. With kTasks the
+  /// report's counters carry the scheduler telemetry (task.executed,
+  /// task.stolen, task.steal_attempts, task.steal_ns,
+  /// task.queue_depth_max) and thread_samples come from the
+  /// "tasks/<fmt>" metric instead of "parallel/<fmt>".
+  ExecBackend backend = ExecBackend::kBulk;
 };
 
 /// Build the full report for one matrix: predict every model candidate

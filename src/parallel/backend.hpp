@@ -1,0 +1,42 @@
+// The Executor seam: which engine executes a threaded plan.
+//
+// Every threaded consumer (SpmvEngine, the serving daemon, the tools'
+// --executor flag) selects between two interchangeable backends over the
+// same FormatOps pass protocol:
+//
+//   kBulk   the paper's bulk-synchronous OpenMP driver (ThreadedSpmv):
+//           one static nnz-balanced granule partition per pass, one
+//           parallel region per run. The baseline.
+//   kTasks  the task-graph backend (TaskGraphSpmv): the matrix is
+//           over-decomposed into block-partition tasks executed by a
+//           persistent thread pool with per-NUMA-node Chase-Lev deques
+//           and randomized work stealing (docs/tasking.md).
+//
+// Both backends produce bitwise-identical output: they re-partition rows
+// across the same per-row kernels, and the registry parity suite pins
+// bulk == tasks == serial for every parallel format.
+#pragma once
+
+#include <string>
+
+#include "src/util/errors.hpp"
+
+namespace bspmv {
+
+enum class ExecBackend { kBulk, kTasks };
+
+inline const char* backend_name(ExecBackend b) {
+  return b == ExecBackend::kTasks ? "tasks" : "bulk";
+}
+
+/// Parse a --executor value; throws invalid_argument_error on anything
+/// other than "bulk" or "tasks" so CLI misuse surfaces as a typed error
+/// (exit code 1 in mtx_tool / bspmv_serve).
+inline ExecBackend parse_backend(const std::string& s) {
+  if (s == "bulk") return ExecBackend::kBulk;
+  if (s == "tasks") return ExecBackend::kTasks;
+  throw invalid_argument_error("unknown executor backend '" + s +
+                               "' (expected bulk|tasks)");
+}
+
+}  // namespace bspmv

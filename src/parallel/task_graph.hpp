@@ -1,0 +1,506 @@
+// Task-graph execution backend (docs/tasking.md) — the second
+// implementation of the Executor seam (src/parallel/backend.hpp).
+//
+// TaskPool is a persistent pool of std::thread workers, each owning a
+// Chase-Lev deque (src/parallel/work_queue.hpp), grouped into NUMA nodes
+// (src/parallel/topology.hpp). A batch of tasks is submitted with a home
+// worker per task; each worker pushes its own home tasks into its own
+// deque (Chase-Lev ownership), drains it LIFO, and when empty steals
+// FIFO from randomized victims — node-local neighbours first, then the
+// rest of the pool. Batches complete via an atomic countdown; the last
+// finisher runs the completion callback (StarPU codelet/callback style),
+// which is how multi-pass SpMV chains pass barriers asynchronously.
+//
+// TaskGraphSpmv<Format> mirrors ThreadedSpmv's interface over the same
+// FormatOps pass protocol: the matrix is over-decomposed into
+// ~kTasksPerThread block-partition tasks per worker per pass
+// (nnz-balanced via balanced_partition, padding-aware), each task
+// covering a contiguous granule range and therefore a contiguous row
+// range. Rows are written by exactly one task with the serial per-row
+// accumulation order, and consecutive passes are separated by a batch
+// barrier — so output is bitwise identical to the serial kernels and the
+// bulk-synchronous backend, no matter how tasks are stolen.
+//
+// The pool is OpenMP-free on purpose: ThreadSanitizer can check the
+// stealing paths (the CI steal-stress job), which it cannot do for
+// libgomp regions.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/formats/format_ops.hpp"
+#include "src/observe/observe.hpp"
+#include "src/parallel/partition.hpp"
+#include "src/parallel/topology.hpp"
+#include "src/parallel/work_queue.hpp"
+#include "src/util/aligned.hpp"
+#include "src/util/macros.hpp"
+#include "src/util/prng.hpp"
+#include "src/util/run_control.hpp"
+#include "src/util/timing.hpp"
+
+namespace bspmv {
+
+/// Cumulative pool-wide scheduler telemetry (relaxed sums over workers).
+struct TaskPoolStats {
+  std::uint64_t submitted = 0;       ///< tasks ever submitted
+  std::uint64_t executed = 0;        ///< tasks ever executed
+  std::uint64_t stolen = 0;          ///< tasks executed via steal
+  std::uint64_t steal_attempts = 0;  ///< deque.steal() calls (incl. misses)
+  std::uint64_t steal_ns = 0;        ///< time from steal-sweep start to a
+                                     ///< successful steal, summed
+  std::uint64_t max_queue_depth = 0; ///< high-water depth over all deques
+};
+
+class TaskPool {
+ public:
+  /// fn(task_index, worker_id); must not retain the references past the
+  /// call.
+  using TaskFn = std::function<void(std::size_t, int)>;
+  using DoneFn = std::function<void(std::exception_ptr)>;
+
+  explicit TaskPool(int workers, Topology topo = Topology::detect());
+  ~TaskPool();
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  int workers() const { return static_cast<int>(ws_.size()); }
+  const Topology& topology() const { return topo_; }
+
+  /// Execute fn(i, worker) for i in [0, home.size()), task i homed on
+  /// worker home[i]. Blocks until every task ran; rethrows the first
+  /// exception any task threw. Must not be called from a pool worker
+  /// (home tasks of the blocked worker would never be claimed) — async
+  /// continuations use run_async instead.
+  void run(std::span<const int> home, const TaskFn& fn);
+
+  /// Non-blocking submit: returns immediately; `done` runs exactly once
+  /// on the worker that finishes the last task (inline when the batch is
+  /// empty), receiving the first task exception or nullptr. Safe to call
+  /// from within a done callback (the async pass chain).
+  void run_async(std::span<const int> home, TaskFn fn, DoneFn done);
+
+  TaskPoolStats stats() const;
+
+  /// Record the telemetry accumulated since the previous flush into the
+  /// observe registry (task.executed / task.stolen / task.steal_attempts
+  /// / task.steal_ns / task.queue_depth_max). Serialised internally so
+  /// concurrent engines sharing the pool never double-count.
+  void flush_observe();
+
+  /// Process-wide pool registry keyed by worker count: every engine
+  /// asking for the same thread count shares one persistent pool (the
+  /// serving daemon's "one pool, many engines" mode). Pools live until
+  /// process exit.
+  static std::shared_ptr<TaskPool> shared(int workers);
+
+ private:
+  struct Batch {
+    TaskFn fn;
+    std::vector<int> home;
+    DoneFn done;  ///< may be null (blocking run)
+    struct Ref {
+      Batch* batch;
+      std::uint32_t index;
+    };
+    std::vector<Ref> refs;
+    /// One flag per worker: set when that worker moved its home tasks
+    /// into its deque.
+    std::unique_ptr<std::atomic<bool>[]> claimed;
+    std::atomic<std::int64_t> remaining{0};
+
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+
+    std::mutex wait_mu;
+    std::condition_variable wait_cv;
+    bool completed = false;
+  };
+
+  struct Worker {
+    WorkStealingDeque deque;
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> stolen{0};
+    std::atomic<std::uint64_t> steal_attempts{0};
+    std::atomic<std::uint64_t> steal_ns{0};
+    Xoshiro256 rng{0};             ///< worker-thread-only
+    std::vector<int> node_victims; ///< same NUMA node, excluding self
+    std::vector<int> far_victims;  ///< everyone else, excluding self
+  };
+
+  std::shared_ptr<Batch> submit(std::vector<int> home, TaskFn fn, DoneFn done);
+  void worker_loop(int w);
+  void claim(Batch& b, int w);
+  bool try_one(Worker& me, int w);
+  void execute(void* opaque, int w);
+  void finish(Batch* b);
+
+  Topology topo_;
+  std::vector<std::unique_ptr<Worker>> ws_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t epoch_ = 0;  ///< bumped per submit; workers re-claim on change
+  std::vector<std::shared_ptr<Batch>> active_;
+  bool shutdown_ = false;
+  /// Tasks sitting in deques or not yet claimed (decremented at dequeue):
+  /// nonzero means stealing may still find work, so idle workers nap
+  /// briefly instead of sleeping indefinitely.
+  std::atomic<std::int64_t> queued_{0};
+  std::atomic<std::uint64_t> submitted_{0};
+
+  std::mutex flush_mu_;
+  TaskPoolStats flushed_;
+};
+
+/// Task-graph SpMV driver — same contract as ThreadedSpmv (bitwise
+/// identical output, same RunControl semantics), executed by a TaskPool.
+template <class Format>
+class TaskGraphSpmv {
+  using Ops = FormatOps<Format>;
+  using V = typename Ops::value_type;
+  static_assert(Ops::kParallel,
+                "TaskGraphSpmv requires FormatOps<Format>::kParallel — the "
+                "task backend parallelises the same formats as the "
+                "bulk-synchronous driver (§V-A)");
+
+ public:
+  /// Granules per cancellation-poll / heartbeat, matching ThreadedSpmv.
+  static constexpr index_t kControlChunk = 256;
+  /// Over-decomposition factor: ~this many tasks per worker per pass, so
+  /// stealing has slack to cover irregular rows the static partition
+  /// cannot balance. Capped at one task per granule.
+  static constexpr int kTasksPerThread = 8;
+
+  /// Decompose `a` for `threads` workers. With no pool given, joins the
+  /// process-wide shared pool of that width; an injected pool must have
+  /// exactly `threads` workers.
+  TaskGraphSpmv(const Format& a, int threads,
+                std::shared_ptr<TaskPool> pool = nullptr);
+
+  /// y = A·x; see ThreadedSpmv::run for the RunControl contract. Must
+  /// not be called from a pool worker thread.
+  void run(const V* x, V* y, Impl impl = Impl::kScalar,
+           RunControl* control = nullptr) const;
+
+  /// Y = A·X for k right-hand sides; see ThreadedSpmv::run_multi.
+  void run_multi(const V* X, V* Y, int k, Layout layout,
+                 Impl impl = Impl::kScalar,
+                 RunControl* control = nullptr) const;
+
+  /// Asynchronous y = A·x: returns immediately; `done` runs on a pool
+  /// worker after the last pass completes (first task exception or
+  /// nullptr). The matrix, this driver, x, y and the control must stay
+  /// alive until `done` fires — the serving daemon keeps them in the
+  /// completion closure.
+  void run_async(const V* x, V* y, Impl impl, RunControl* control,
+                 std::function<void(std::exception_ptr)> done) const;
+
+  /// First-touch placement pass: each pass-0 task's home worker writes
+  /// the y rows that task will produce (zero-fill) and rewrites a
+  /// proportional slice of x in place, so the OS backs those pages on
+  /// the worker's node before the timed runs. Either pointer may be
+  /// null to skip that vector.
+  void warm_up(V* x, V* y) const;
+
+  int threads() const { return threads_; }
+  TaskPool& pool() const { return *pool_; }
+  /// Decomposition introspection for tests.
+  std::size_t task_count(int pass) const {
+    return tasks_[static_cast<std::size_t>(pass)].size();
+  }
+
+ private:
+  struct Task {
+    index_t g0, g1;      ///< granule range (pass-local)
+    index_t row0, row1;  ///< row range (pass 0: also the zero-fill range)
+    std::size_t weight;  ///< stored values incl. padding (§V-A weights)
+  };
+  struct alignas(64) WorkerSlot {
+    double seconds = 0.0;
+    std::size_t items = 0;
+  };
+  struct AsyncCtx {
+    const V* x;
+    V* y;
+    Impl impl;
+    RunControl* control;
+    std::function<void(std::exception_ptr)> done;
+  };
+
+  void exec_task(int pass, std::size_t ti, int wkr, const V* x, V* y,
+                 Impl impl, RunControl* control, WorkerSlot* slots) const;
+  void submit_pass_async(int pass, std::shared_ptr<AsyncCtx> ctx) const;
+  void record_threads(const char* prefix, const std::vector<WorkerSlot>& slots,
+                      std::size_t scale) const;
+
+  const Format* a_;
+  int threads_;
+  std::shared_ptr<TaskPool> pool_;
+  std::vector<Task> tasks_[static_cast<std::size_t>(Ops::kPasses)];
+  std::vector<int> homes_[static_cast<std::size_t>(Ops::kPasses)];
+};
+
+template <class Format>
+TaskGraphSpmv<Format>::TaskGraphSpmv(const Format& a, int threads,
+                                     std::shared_ptr<TaskPool> pool)
+    : a_(&a),
+      threads_(threads),
+      pool_(pool ? std::move(pool) : TaskPool::shared(threads)) {
+  BSPMV_CHECK_MSG(threads >= 1, "thread count must be >= 1");
+  BSPMV_CHECK_MSG(pool_->workers() == threads_,
+                  "task pool width must equal the plan's thread count");
+  for (int pass = 0; pass < Ops::kPasses; ++pass) {
+    const auto w = Ops::pass_weights(a, pass);
+    std::size_t target =
+        static_cast<std::size_t>(threads_) *
+        static_cast<std::size_t>(kTasksPerThread);
+    if (target > w.size()) target = w.size();
+    if (target == 0) target = 1;  // keeps balanced_partition happy
+    const auto task_bounds =
+        balanced_partition(w, static_cast<int>(target));
+    // Homes follow the bulk backend's nnz-balanced thread partition: the
+    // worker that would own a task's first granule under ThreadedSpmv is
+    // its home, so an unstolen schedule reproduces the bulk placement.
+    const auto thread_bounds = balanced_partition(w, threads_);
+    auto& tasks = tasks_[static_cast<std::size_t>(pass)];
+    auto& homes = homes_[static_cast<std::size_t>(pass)];
+    for (std::size_t t = 0; t < target; ++t) {
+      const index_t g0 = task_bounds[t];
+      const index_t g1 = task_bounds[t + 1];
+      if (g0 == g1) continue;  // empty slice: no rows, nothing to do
+      Task tk;
+      tk.g0 = g0;
+      tk.g1 = g1;
+      tk.row0 = Ops::pass_first_row(a, pass, g0);
+      tk.row1 = Ops::pass_first_row(a, pass, g1);
+      tk.weight = 0;
+      for (index_t g = g0; g < g1; ++g)
+        tk.weight += w[static_cast<std::size_t>(g)];
+      const auto it = std::upper_bound(thread_bounds.begin(),
+                                       thread_bounds.end(), g0);
+      int home =
+          static_cast<int>(it - thread_bounds.begin()) - 1;
+      if (home < 0) home = 0;
+      if (home >= threads_) home = threads_ - 1;
+      tasks.push_back(tk);
+      homes.push_back(home);
+    }
+  }
+}
+
+template <class Format>
+void TaskGraphSpmv<Format>::exec_task(int pass, std::size_t ti, int wkr,
+                                      const V* x, V* y, Impl impl,
+                                      RunControl* control,
+                                      WorkerSlot* slots) const {
+  const Task& tk = tasks_[static_cast<std::size_t>(pass)][ti];
+  Timer timer;
+  RunControl::ScopedCurrent ambient(control);
+  if (control == nullptr) {
+    if (pass == 0) std::fill(y + tk.row0, y + tk.row1, V{0});
+    Ops::pass_run(*a_, pass, tk.g0, tk.g1, x, y, impl);
+  } else if (!control->stop_requested()) {
+    if (pass == 0) std::fill(y + tk.row0, y + tk.row1, V{0});
+    for (index_t g = tk.g0; g < tk.g1; g += kControlChunk) {
+      if (control->stop_requested()) break;  // one relaxed load
+      Ops::pass_run(*a_, pass, g, std::min<index_t>(tk.g1, g + kControlChunk),
+                    x, y, impl);
+      control->heartbeat(wkr);
+    }
+  }
+  if (slots != nullptr) {
+    slots[wkr].seconds += timer.elapsed();
+    slots[wkr].items += tk.weight;
+  }
+}
+
+template <class Format>
+void TaskGraphSpmv<Format>::record_threads(
+    const char* prefix, const std::vector<WorkerSlot>& slots,
+    std::size_t scale) const {
+#if defined(BSPMV_OBSERVE_HOOKS) && BSPMV_OBSERVE_HOOKS
+  const std::string metric = std::string(prefix) + Ops::kName;
+  auto& reg = observe::CounterRegistry::instance();
+  for (std::size_t w = 0; w < slots.size(); ++w)
+    if (slots[w].items != 0 || slots[w].seconds != 0.0)
+      reg.add_thread_time(metric, static_cast<int>(w), slots[w].seconds,
+                          slots[w].items * scale);
+  pool_->flush_observe();
+#else
+  (void)prefix;
+  (void)slots;
+  (void)scale;
+#endif
+}
+
+template <class Format>
+void TaskGraphSpmv<Format>::run(const V* x, V* y, Impl impl,
+                                RunControl* control) const {
+  std::vector<WorkerSlot> slots(
+      static_cast<std::size_t>(pool_->workers()));
+  for (int pass = 0; pass < Ops::kPasses; ++pass) {
+    // Sequential batches are the inter-pass barrier: later passes
+    // partition rows differently, so every earlier-pass contribution
+    // must have landed first (same discipline as the bulk driver).
+    pool_->run(homes_[static_cast<std::size_t>(pass)],
+               [&](std::size_t ti, int wkr) {
+                 exec_task(pass, ti, wkr, x, y, impl, control, slots.data());
+               });
+  }
+  record_threads("tasks/", slots, 1);
+}
+
+template <class Format>
+void TaskGraphSpmv<Format>::run_async(
+    const V* x, V* y, Impl impl, RunControl* control,
+    std::function<void(std::exception_ptr)> done) const {
+  auto ctx = std::make_shared<AsyncCtx>(
+      AsyncCtx{x, y, impl, control, std::move(done)});
+  submit_pass_async(0, std::move(ctx));
+}
+
+template <class Format>
+void TaskGraphSpmv<Format>::submit_pass_async(
+    int pass, std::shared_ptr<AsyncCtx> ctx) const {
+  pool_->run_async(
+      homes_[static_cast<std::size_t>(pass)],
+      [this, pass, ctx](std::size_t ti, int wkr) {
+        exec_task(pass, ti, wkr, ctx->x, ctx->y, ctx->impl, ctx->control,
+                  nullptr);
+      },
+      [this, pass, ctx](std::exception_ptr err) {
+        if (err == nullptr && pass + 1 < Ops::kPasses) {
+          submit_pass_async(pass + 1, ctx);  // chained pass barrier
+          return;
+        }
+        pool_->flush_observe();
+        ctx->done(err);
+      });
+}
+
+template <class Format>
+void TaskGraphSpmv<Format>::run_multi(const V* X, V* Y, int k, Layout layout,
+                                      Impl impl, RunControl* control) const {
+  BSPMV_CHECK_MSG(k >= 1, "rhs count must be >= 1");
+  if (k == 1) {
+    run(X, Y, impl, control);
+    return;
+  }
+  const std::size_t rows = static_cast<std::size_t>(a_->rows());
+  const std::size_t cols = static_cast<std::size_t>(a_->cols());
+  const std::size_t kk = static_cast<std::size_t>(k);
+  if constexpr (!requires(const Format& f, const V* x, V* y) {
+                  Ops::pass_run_multi(f, 0, index_t{0}, index_t{0}, x, y, 1,
+                                      Layout::kRowMajor, Impl::kScalar);
+                }) {
+    // Same fallback as ThreadedSpmv: one task-parallel run() per vector.
+    if (layout == Layout::kColMajor) {
+      for (int j = 0; j < k; ++j) {
+        if (control != nullptr && control->stop_requested()) return;
+        run(X + static_cast<std::size_t>(j) * cols,
+            Y + static_cast<std::size_t>(j) * rows, impl, control);
+      }
+    } else {
+      aligned_vector<V> x(cols), y(rows);
+      for (int j = 0; j < k; ++j) {
+        if (control != nullptr && control->stop_requested()) return;
+        for (std::size_t i = 0; i < cols; ++i)
+          x[i] = X[i * kk + static_cast<std::size_t>(j)];
+        run(x.data(), y.data(), impl, control);
+        for (std::size_t i = 0; i < rows; ++i)
+          Y[i * kk + static_cast<std::size_t>(j)] = y[i];
+      }
+    }
+    return;
+  } else {
+    std::vector<WorkerSlot> slots(
+        static_cast<std::size_t>(pool_->workers()));
+    const auto zero_rows = [&](index_t r0, index_t r1) {
+      if (layout == Layout::kRowMajor) {
+        std::fill(Y + static_cast<std::size_t>(r0) * kk,
+                  Y + static_cast<std::size_t>(r1) * kk, V{0});
+      } else {
+        for (std::size_t j = 0; j < kk; ++j)
+          std::fill(Y + j * rows + static_cast<std::size_t>(r0),
+                    Y + j * rows + static_cast<std::size_t>(r1), V{0});
+      }
+    };
+    for (int pass = 0; pass < Ops::kPasses; ++pass) {
+      const auto& tasks = tasks_[static_cast<std::size_t>(pass)];
+      pool_->run(
+          homes_[static_cast<std::size_t>(pass)],
+          [&](std::size_t ti, int wkr) {
+            const Task& tk = tasks[ti];
+            Timer timer;
+            RunControl::ScopedCurrent ambient(control);
+            if (control == nullptr) {
+              if (pass == 0) zero_rows(tk.row0, tk.row1);
+              Ops::pass_run_multi(*a_, pass, tk.g0, tk.g1, X, Y, k, layout,
+                                  impl);
+            } else if (!control->stop_requested()) {
+              if (pass == 0) zero_rows(tk.row0, tk.row1);
+              for (index_t g = tk.g0; g < tk.g1; g += kControlChunk) {
+                if (control->stop_requested()) break;
+                Ops::pass_run_multi(
+                    *a_, pass, g, std::min<index_t>(tk.g1, g + kControlChunk),
+                    X, Y, k, layout, impl);
+                control->heartbeat(wkr);
+              }
+            }
+            slots[wkr].seconds += timer.elapsed();
+            slots[wkr].items += tk.weight;
+          });
+    }
+    record_threads("tasks_multi/", slots, kk);
+  }
+}
+
+template <class Format>
+void TaskGraphSpmv<Format>::warm_up(V* x, V* y) const {
+  const auto& tasks = tasks_[0];
+  const std::size_t n = tasks.size();
+  if (n == 0) return;
+  const std::size_t cols = static_cast<std::size_t>(a_->cols());
+  pool_->run(homes_[0], [&](std::size_t ti, int) {
+    const Task& tk = tasks[ti];
+    if (y != nullptr)
+      std::fill(y + tk.row0, y + tk.row1, V{0});
+    if (x != nullptr) {
+      // Volatile self-store: dirties each page (first touch allocates it
+      // on this worker's node) without changing any value.
+      volatile V* vx = x;
+      const std::size_t j0 = cols * ti / n;
+      const std::size_t j1 = cols * (ti + 1) / n;
+      for (std::size_t j = j0; j < j1; ++j) vx[j] = vx[j];
+    }
+  });
+}
+
+#define BSPMV_DECL(V)             \
+  extern template class           \
+      TaskGraphSpmv<Csr<V>>;      \
+  extern template class           \
+      TaskGraphSpmv<Bcsr<V>>;     \
+  extern template class           \
+      TaskGraphSpmv<Bcsd<V>>;     \
+  extern template class           \
+      TaskGraphSpmv<BcsrDec<V>>;  \
+  extern template class           \
+      TaskGraphSpmv<BcsdDec<V>>;
+BSPMV_DECL(float)
+BSPMV_DECL(double)
+#undef BSPMV_DECL
+
+}  // namespace bspmv

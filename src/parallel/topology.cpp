@@ -1,0 +1,101 @@
+#include "src/parallel/topology.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace bspmv {
+
+std::vector<int> parse_cpulist(const std::string& s) {
+  std::vector<int> cpus;
+  std::stringstream ss(s);
+  std::string chunk;
+  while (std::getline(ss, chunk, ',')) {
+    const auto dash = chunk.find('-');
+    try {
+      if (dash == std::string::npos) {
+        cpus.push_back(std::stoi(chunk));
+      } else {
+        const int lo = std::stoi(chunk.substr(0, dash));
+        const int hi = std::stoi(chunk.substr(dash + 1));
+        for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+      }
+    } catch (const std::exception&) {
+      // Malformed chunk (empty line, stray text): ignore it — topology
+      // detection must never take down an SpMV.
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+Topology Topology::clustered(int cpus, int per_cluster) {
+  Topology t;
+  t.total_cpus = std::max(1, cpus);
+  per_cluster = std::max(1, per_cluster);
+  for (int base = 0; base < t.total_cpus; base += per_cluster) {
+    Node n;
+    n.id = base / per_cluster;
+    for (int c = base; c < std::min(t.total_cpus, base + per_cluster); ++c)
+      n.cpus.push_back(c);
+    t.nodes.push_back(std::move(n));
+  }
+  return t;
+}
+
+Topology Topology::detect() {
+  Topology t;
+  // Nodes are almost always dense (node0, node1, ...) but holes exist on
+  // some machines; scan a generous range and keep whatever answers.
+  for (int id = 0; id < 256; ++id) {
+    const std::string path =
+        "/sys/devices/system/node/node" + std::to_string(id) + "/cpulist";
+    std::ifstream f(path);
+    if (!f) {
+      if (id > 0) break;  // node0 missing entirely => no sysfs NUMA info
+      continue;
+    }
+    std::string line;
+    std::getline(f, line);
+    Node n;
+    n.id = id;
+    n.cpus = parse_cpulist(line);
+    if (!n.cpus.empty()) t.nodes.push_back(std::move(n));
+  }
+  if (!t.nodes.empty()) {
+    t.numa_detected = true;
+    int cpus = 0;
+    for (const Node& n : t.nodes) cpus += static_cast<int>(n.cpus.size());
+    t.total_cpus = std::max(1, cpus);
+    return t;
+  }
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return clustered(hw > 0 ? hw : 1);
+}
+
+int Topology::node_of_worker(int worker, int workers) const {
+  if (workers <= 0 || nodes.empty()) return 0;
+  worker = std::clamp(worker, 0, workers - 1);
+  const int n = static_cast<int>(nodes.size());
+  // Contiguous blocks of ceil(workers/n) workers per node; trailing
+  // nodes may be empty when workers < n, which node-local stealing
+  // handles (an empty neighbourhood falls through to the global sweep).
+  const int per = (workers + n - 1) / n;
+  return std::min(worker / per, n - 1);
+}
+
+std::string Topology::to_string() const {
+  std::string out = numa_detected ? "numa[" : "clusters[";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i) out += ' ';
+    out += "n" + std::to_string(nodes[i].id) + ":" +
+           std::to_string(nodes[i].cpus.size());
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace bspmv

@@ -1,0 +1,100 @@
+#include "src/parallel/work_queue.hpp"
+
+#include <algorithm>
+
+#include "src/util/macros.hpp"
+
+namespace bspmv {
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 8;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+WorkStealingDeque::WorkStealingDeque(std::size_t capacity) {
+  buffers_.push_back(std::make_unique<Buffer>(round_up_pow2(capacity)));
+  buffer_.store(buffers_.back().get(), std::memory_order_relaxed);
+}
+
+WorkStealingDeque::Buffer* WorkStealingDeque::grow(Buffer* old,
+                                                   std::int64_t top,
+                                                   std::int64_t bottom) {
+  auto bigger = std::make_unique<Buffer>(old->capacity * 2);
+  for (std::int64_t i = top; i < bottom; ++i)
+    bigger->cells[static_cast<std::size_t>(i) & bigger->mask].store(
+        old->cells[static_cast<std::size_t>(i) & old->mask].load(
+            std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  Buffer* raw = bigger.get();
+  buffers_.push_back(std::move(bigger));  // old buffer stays alive: a
+                                          // thief may still be reading it
+  buffer_.store(raw, std::memory_order_release);
+  return raw;
+}
+
+void WorkStealingDeque::push(void* item) {
+  BSPMV_CHECK_MSG(item != nullptr, "WorkStealingDeque: null item");
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t t = top_.load(std::memory_order_acquire);
+  Buffer* buf = buffer_.load(std::memory_order_relaxed);
+  if (b - t >= static_cast<std::int64_t>(buf->capacity)) buf = grow(buf, t, b);
+  buf->cells[static_cast<std::size_t>(b) & buf->mask].store(
+      item, std::memory_order_relaxed);
+  // The release store publishes the cell to any thief that acquires
+  // `bottom_` at a value > b.
+  bottom_.store(b + 1, std::memory_order_release);
+
+  const auto depth = static_cast<std::size_t>(b + 1 - t);
+  if (depth > max_depth_.load(std::memory_order_relaxed))
+    max_depth_.store(depth, std::memory_order_relaxed);
+}
+
+void* WorkStealingDeque::pop() {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  Buffer* buf = buffer_.load(std::memory_order_relaxed);
+  // Claim the bottom slot, then read top: the seq_cst pair with steal()'s
+  // top/bottom loads guarantees at most one side wins the last element.
+  bottom_.store(b, std::memory_order_seq_cst);
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  void* item = nullptr;
+  if (t <= b) {
+    item = buf->cells[static_cast<std::size_t>(b) & buf->mask].load(
+        std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it via top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed))
+        item = nullptr;  // a thief got there first
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+  } else {
+    bottom_.store(b + 1, std::memory_order_relaxed);  // was empty; undo
+  }
+  return item;
+}
+
+void* WorkStealingDeque::steal() {
+  std::int64_t t = top_.load(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+  if (t >= b) return nullptr;
+  Buffer* buf = buffer_.load(std::memory_order_acquire);
+  void* item = buf->cells[static_cast<std::size_t>(t) & buf->mask].load(
+      std::memory_order_relaxed);
+  // The CAS validates the read: if the owner popped this element (or a
+  // concurrent thief took it), top moved and the stale read is discarded.
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed))
+    return nullptr;
+  return item;
+}
+
+std::size_t WorkStealingDeque::size_estimate() const {
+  const std::int64_t t = top_.load(std::memory_order_relaxed);
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  return b > t ? static_cast<std::size_t>(b - t) : 0;
+}
+
+}  // namespace bspmv

@@ -1,0 +1,77 @@
+// Chase-Lev work-stealing deque — the per-worker queue of the task-graph
+// backend (docs/tasking.md).
+//
+// One owner thread pushes and pops at the bottom; any number of thieves
+// steal from the top. The implementation follows the weak-memory-model
+// formulation of Lê, Pop, Cohen and Nardelli ("Correct and Efficient
+// Work-Stealing for Weak Memory Models", PPoPP'13) with two deliberate
+// deviations:
+//
+//   - no standalone fences: the Dekker-style pop/steal race runs on
+//     seq_cst operations on `top_`/`bottom_` directly, so ThreadSanitizer
+//     (which does not model atomic_thread_fence) can verify the steal
+//     paths — the whole point of the CI steal-stress job;
+//   - growth retires old buffers into an owner-private list freed only at
+//     destruction ("leak until destroy"), so a thief holding a stale
+//     buffer pointer always reads live memory without hazard pointers.
+//
+// Items are non-null void pointers; every cell is a std::atomic so the
+// deque contains no plain shared memory at all.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace bspmv {
+
+class WorkStealingDeque {
+ public:
+  explicit WorkStealingDeque(std::size_t capacity = 64);
+  ~WorkStealingDeque() = default;
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  /// Owner only. `item` must be non-null. Grows (amortised O(1)) when
+  /// full.
+  void push(void* item);
+
+  /// Owner only: LIFO end. nullptr when empty (or a thief won the last
+  /// element).
+  void* pop();
+
+  /// Any thread: FIFO end. nullptr when empty or on a lost race (the
+  /// caller treats both as "try another victim").
+  void* steal();
+
+  /// Racy snapshot of the current depth (monitoring only).
+  std::size_t size_estimate() const;
+
+  /// High-water depth since construction (relaxed; monitoring only).
+  std::size_t max_depth() const {
+    return max_depth_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap)
+        : capacity(cap), mask(cap - 1),
+          cells(std::make_unique<std::atomic<void*>[]>(cap)) {}
+    const std::size_t capacity;  ///< power of two
+    const std::size_t mask;
+    std::unique_ptr<std::atomic<void*>[]> cells;
+  };
+
+  Buffer* grow(Buffer* old, std::int64_t top, std::int64_t bottom);
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_;
+  /// All buffers ever allocated (owner-mutated in grow; freed in ~).
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+  std::atomic<std::size_t> max_depth_{0};
+};
+
+}  // namespace bspmv

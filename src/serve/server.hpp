@@ -36,6 +36,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -44,6 +45,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/parallel/backend.hpp"
 #include "src/serve/admission.hpp"
 #include "src/serve/engine_cache.hpp"
 #include "src/serve/protocol.hpp"
@@ -60,6 +62,14 @@ struct ServerOptions {
   int workers = 2;                  ///< request-executing threads
   int engine_threads = 0;  ///< per-engine thread plan (0 = single-threaded)
   bool simd = true;        ///< allow simd candidates in selection
+
+  /// Execution backend of every threaded engine this server prepares.
+  /// kTasks shares one process-wide TaskPool of engine_threads workers
+  /// across all cached engines (concurrent requests interleave their
+  /// tasks on it), and non-batched spmv requests complete asynchronously:
+  /// the request worker submits the task graph and returns to the pool,
+  /// with the reply sent from a completion callback.
+  ExecBackend executor = ExecBackend::kBulk;
 
   /// Measured selection on prepare: convert each parallel-safe candidate
   /// and time `prepare_iterations` SpMVs, keeping the fastest — the
@@ -127,6 +137,7 @@ class Server {
   struct Connection;
   struct ServerStats;
   struct SpmmBatch;
+  struct AsyncSpmv;
 
   void accept_loop();
   void worker_loop();
@@ -154,6 +165,13 @@ class Server {
   void spmv_batched(const std::shared_ptr<Connection>& conn,
                     SpmvRequest&& req,
                     std::shared_ptr<const CachedEngine> entry, Timer t);
+
+  /// Completion of one non-batched spmv: reply or typed error, counters,
+  /// degradation bookkeeping. Runs on the request worker for synchronous
+  /// plans and on a task-pool worker for asynchronous (task-graph) ones.
+  void finish_spmv(const std::shared_ptr<Connection>& conn,
+                   const std::shared_ptr<AsyncSpmv>& st,
+                   std::exception_ptr err);
 
   /// Requeue a busy request with exponential backoff; replies overloaded
   /// once attempts exceed max_retries. Returns true if requeued.
@@ -208,6 +226,11 @@ class Server {
   std::unordered_map<std::uint64_t, std::shared_ptr<SpmmBatch>> batches_;
 
   std::atomic<int> stall_strikes_{0};
+
+  /// Async spmv completions still owed to clients (task executor only);
+  /// stop() drains this before tearing down, since the callbacks touch
+  /// stats_ and connections.
+  std::atomic<int> async_inflight_{0};
 
   std::unique_ptr<ServerStats> stats_;
 };

@@ -3,8 +3,12 @@
 // adaptation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "src/core/models.hpp"
 #include "src/core/selector.hpp"
+#include "src/core/working_set.hpp"
 #include "tests/test_helpers.hpp"
 
 namespace bspmv {
@@ -161,6 +165,144 @@ TEST(Selector, PicksBlockedFormatOnPerfectlyBlockyMatrix) {
   const auto best = select_best(ModelKind::kOverlap, a, p);
   EXPECT_NE(best.candidate.kind, FormatKind::kCsr) << best.candidate.id();
   EXPECT_GT(best.predicted_seconds, 0.0);
+}
+
+// ------------------------------------------- executor-aware extension ----
+
+TEST(Models, ParallelOverheadUniformWeights) {
+  // 64 uniform granules, 4 threads: the bulk partition is perfect
+  // (imbalance 0); the task backend over-decomposes into 4×8 = 32 tasks
+  // of 2 granules each, so the straggler bound max_task/(total/P) is
+  // exactly 1/tasks_per_thread, and the scheduling fee is one
+  // seconds_per_task per non-empty task.
+  const std::vector<std::size_t> w(64, 10);
+  const auto o = parallel_overhead(w, 4, 8, 2e-6);
+  EXPECT_NEAR(o.bulk_imbalance, 0.0, 1e-9);
+  EXPECT_NEAR(o.task_imbalance, 1.0 / 8.0, 1e-9);
+  EXPECT_NEAR(o.steal_overhead_seconds, 32 * 2e-6, 1e-12);
+}
+
+TEST(Models, ParallelOverheadSkewedWeights) {
+  // One granule carries most of the weight: both terms are dominated by
+  // it. The bulk term is (heaviest part)/ideal - 1; the task term is the
+  // raw straggler bound max_task/ideal, which can never drop below the
+  // heavy granule's share (a granule cannot be split).
+  std::vector<std::size_t> w(63, 1);
+  w.push_back(400);
+  const double ideal = 463.0 / 4.0;
+  const auto o = parallel_overhead(w, 4);
+  EXPECT_GT(o.bulk_imbalance, 0.0);
+  EXPECT_GE(o.task_imbalance, 400.0 / ideal - 1e-12);
+  EXPECT_GT(o.steal_overhead_seconds, 0.0);
+}
+
+TEST(Models, ParallelOverheadSingleGranule) {
+  // One granule IS the whole matrix: the bulk backend wastes P-1 shares
+  // (heaviest/ideal - 1 = 3) and the task straggler bound is the whole
+  // runtime (max_task/ideal = P = 4).
+  const std::vector<std::size_t> w = {1000};
+  const auto o = parallel_overhead(w, 4);
+  EXPECT_NEAR(o.bulk_imbalance, 3.0, 1e-9);
+  EXPECT_NEAR(o.task_imbalance, 4.0, 1e-9);
+}
+
+TEST(Models, ParallelOverheadEmptyWeightsIsZero) {
+  const std::vector<std::size_t> w;
+  const auto o = parallel_overhead(w, 4);
+  EXPECT_EQ(o.bulk_imbalance, 0.0);
+  EXPECT_EQ(o.task_imbalance, 0.0);
+  EXPECT_EQ(o.steal_overhead_seconds, 0.0);
+}
+
+TEST(Models, PredictParallelAddsBackendTerms) {
+  const MachineProfile p = synthetic_profile(1e9, 2e-9, 0.25);
+  const CandidateCost cost = hand_cost();
+  ParallelOverhead o;
+  o.bulk_imbalance = 0.5;
+  o.task_imbalance = 0.1;
+  o.steal_overhead_seconds = 3e-6;
+  const double base =
+      predict_multicore(ModelKind::kOverlap, cost, p, Precision::kDouble, 4);
+  const double share =
+      predict(ModelKind::kOverlap, cost, p, Precision::kDouble) / 4;
+  EXPECT_DOUBLE_EQ(predict_parallel(ModelKind::kOverlap, cost, p,
+                                    Precision::kDouble, 4, o,
+                                    ExecBackend::kBulk),
+                   base + 0.5 * share);
+  EXPECT_DOUBLE_EQ(predict_parallel(ModelKind::kOverlap, cost, p,
+                                    Precision::kDouble, 4, o,
+                                    ExecBackend::kTasks),
+                   base + 0.1 * share + 3e-6);
+  // With the skew modelled above, the task backend predicts faster.
+  EXPECT_LT(predict_parallel(ModelKind::kOverlap, cost, p, Precision::kDouble,
+                             4, o, ExecBackend::kTasks),
+            predict_parallel(ModelKind::kOverlap, cost, p, Precision::kDouble,
+                             4, o, ExecBackend::kBulk));
+}
+
+// ------------------------------------------------ k-aware selection ----
+
+TEST(Selector, WorkloadDefaultMatchesPlainRanking) {
+  const MachineProfile p = synthetic_profile();
+  const Csr<double> a = Csr<double>::from_coo(
+      random_blocky_coo<double>(60, 60, 2, 0.4, 0.9, 7));
+  const auto plain = rank_candidates(ModelKind::kOverlap, a, p);
+  const auto wl = rank_candidates(ModelKind::kOverlap, a, p, Workload{});
+  ASSERT_EQ(plain.size(), wl.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].candidate.id(), wl[i].candidate.id());
+    EXPECT_DOUBLE_EQ(plain[i].predicted_seconds, wl[i].predicted_seconds);
+  }
+}
+
+TEST(Selector, KAwareRankingUsesSpmmPredictions) {
+  const MachineProfile p = synthetic_profile();
+  const Csr<double> a = Csr<double>::from_coo(
+      random_blocky_coo<double>(60, 60, 2, 0.4, 0.9, 7));
+  const Workload wl{8, Layout::kRowMajor};
+  const auto ranked = rank_candidates(ModelKind::kOverlap, a, p, wl);
+  ASSERT_FALSE(ranked.empty());
+  // Every prediction must equal predict_spmm for that candidate — the
+  // k-aware path amortises the x/matrix streams over 8 vectors, so the
+  // per-multiply times sit below the k=1 predictions.
+  const auto costs =
+      all_candidate_costs(a, model_candidates(true));
+  for (const auto& r : ranked) {
+    const auto it = std::find_if(costs.begin(), costs.end(),
+                                 [&](const CandidateCost& c) {
+                                   return c.candidate.id() == r.candidate.id();
+                                 });
+    ASSERT_NE(it, costs.end());
+    EXPECT_DOUBLE_EQ(r.predicted_seconds,
+                     predict_spmm(ModelKind::kOverlap, *it, p,
+                                  Precision::kDouble, 8, Layout::kRowMajor,
+                                  nullptr));
+    EXPECT_LE(r.predicted_seconds / 8,
+              predict(ModelKind::kOverlap, *it, p, Precision::kDouble) +
+                  1e-15);
+  }
+  for (std::size_t i = 1; i < ranked.size(); ++i)
+    EXPECT_LE(ranked[i - 1].predicted_seconds, ranked[i].predicted_seconds);
+}
+
+TEST(Selector, KAwareSelectionCanDisagreeWithSingleVector) {
+  // select_best with a Workload is the same candidate as the front of
+  // the k-aware ranking (and a valid candidate either way).
+  const MachineProfile p = synthetic_profile();
+  const Csr<double> a = Csr<double>::from_coo(
+      random_blocky_coo<double>(80, 80, 4, 0.5, 1.01, 11));
+  const Workload wl{16, Layout::kColMajor};
+  const auto best = select_best(ModelKind::kOverlap, a, p, wl);
+  const auto ranked = rank_candidates(ModelKind::kOverlap, a, p, wl);
+  EXPECT_EQ(best.candidate.id(), ranked.front().candidate.id());
+}
+
+TEST(Selector, RejectsNonPositiveWorkload) {
+  const MachineProfile p = synthetic_profile();
+  const Csr<double> a = Csr<double>::from_coo(
+      random_blocky_coo<double>(20, 20, 2, 0.4, 0.9, 13));
+  EXPECT_ANY_THROW(
+      rank_candidates(ModelKind::kOverlap, a, p, Workload{0}));
 }
 
 TEST(Selector, MemCompPenalisesManyBlocks) {

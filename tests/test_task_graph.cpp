@@ -1,0 +1,499 @@
+// Task-graph backend tests (docs/tasking.md): the Chase-Lev deque, NUMA
+// topology mapping, the TaskPool scheduler, and TaskGraphSpmv's bitwise
+// parity with the serial kernels under adversarial skew.
+//
+// Deliberately OpenMP-region-free: the CI steal-stress job runs this
+// binary under ThreadSanitizer (scripts/run_tsan.sh), which cannot model
+// libgomp's barriers — every thread here is a std::thread, so TSan
+// verifies the stealing paths for real.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/formats/registry.hpp"
+#include "src/kernels/spmv.hpp"
+#include "src/parallel/backend.hpp"
+#include "src/parallel/task_graph.hpp"
+#include "src/parallel/topology.hpp"
+#include "src/parallel/work_queue.hpp"
+#include "src/util/run_control.hpp"
+#include "tests/test_helpers.hpp"
+
+namespace bspmv {
+namespace {
+
+using bspmv::testing::random_blocky_coo;
+using bspmv::testing::random_x;
+
+// ------------------------------------------------------ ExecBackend ----
+
+TEST(Backend, ParseAndNameRoundTrip) {
+  EXPECT_EQ(parse_backend("bulk"), ExecBackend::kBulk);
+  EXPECT_EQ(parse_backend("tasks"), ExecBackend::kTasks);
+  EXPECT_STREQ(backend_name(ExecBackend::kBulk), "bulk");
+  EXPECT_STREQ(backend_name(ExecBackend::kTasks), "tasks");
+  EXPECT_THROW(parse_backend("bogus"), invalid_argument_error);
+  EXPECT_THROW(parse_backend(""), invalid_argument_error);
+}
+
+// -------------------------------------------------------- WorkQueue ----
+
+TEST(WorkQueue, OwnerPopsLifoThiefStealsFifo) {
+  WorkStealingDeque q;
+  int items[6];
+  for (int i = 0; i < 6; ++i) q.push(&items[i]);
+  EXPECT_EQ(q.size_estimate(), 6u);
+  // Thief end is FIFO: the oldest item first.
+  EXPECT_EQ(q.steal(), &items[0]);
+  EXPECT_EQ(q.steal(), &items[1]);
+  // Owner end is LIFO: the newest remaining item first.
+  EXPECT_EQ(q.pop(), &items[5]);
+  EXPECT_EQ(q.pop(), &items[4]);
+  EXPECT_EQ(q.steal(), &items[2]);
+  EXPECT_EQ(q.pop(), &items[3]);
+  EXPECT_EQ(q.pop(), nullptr);
+  EXPECT_EQ(q.steal(), nullptr);
+}
+
+TEST(WorkQueue, GrowsPastInitialCapacity) {
+  WorkStealingDeque q(4);  // forces several grow() cycles
+  const std::size_t n = 1000;
+  std::vector<int> items(n);
+  for (auto& it : items) q.push(&it);
+  EXPECT_GE(q.max_depth(), n);
+  std::size_t seen = 0;
+  while (q.pop() != nullptr) ++seen;
+  EXPECT_EQ(seen, n);
+}
+
+TEST(WorkQueue, StressEveryItemTakenExactlyOnce) {
+  // One owner interleaves pushes and pops while thieves hammer steal();
+  // every item must be taken exactly once across all threads. Run under
+  // TSan this exercises the Dekker-style pop/steal race directly.
+  constexpr std::size_t kItems = 20000;
+  constexpr int kThieves = 3;
+  WorkStealingDeque q(8);
+  std::vector<std::atomic<int>> taken(kItems);
+  for (auto& t : taken) t.store(0, std::memory_order_relaxed);
+  std::atomic<bool> done{false};
+
+  auto take = [&](void* p) {
+    auto* cell = static_cast<std::atomic<int>*>(p);
+    cell->fetch_add(1, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t)
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (void* p = q.steal()) take(p);
+      }
+      while (void* p = q.steal()) take(p);
+    });
+
+  for (std::size_t i = 0; i < kItems; ++i) {
+    q.push(&taken[i]);
+    if (i % 3 == 0) {
+      if (void* p = q.pop()) take(p);
+    }
+  }
+  while (void* p = q.pop()) take(p);
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+
+  for (std::size_t i = 0; i < kItems; ++i)
+    ASSERT_EQ(taken[i].load(std::memory_order_relaxed), 1)
+        << "item " << i << " taken wrong number of times";
+}
+
+// --------------------------------------------------------- Topology ----
+
+TEST(Topology, ParseCpulist) {
+  const std::vector<int> expect = {0, 1, 2, 3, 8, 10, 11};
+  EXPECT_EQ(parse_cpulist("0-3,8,10-11"), expect);
+  EXPECT_TRUE(parse_cpulist("").empty());
+  // Malformed chunks are skipped, valid ones kept, duplicates folded.
+  const auto partial = parse_cpulist("junk,5,5,2-4");
+  const std::vector<int> expect2 = {2, 3, 4, 5};
+  EXPECT_EQ(partial, expect2);
+}
+
+TEST(Topology, ClusteredShape) {
+  const Topology t = Topology::clustered(10, 4);
+  ASSERT_EQ(t.nodes.size(), 3u);
+  EXPECT_EQ(t.nodes[0].cpus.size(), 4u);
+  EXPECT_EQ(t.nodes[1].cpus.size(), 4u);
+  EXPECT_EQ(t.nodes[2].cpus.size(), 2u);
+  EXPECT_EQ(t.total_cpus, 10);
+  EXPECT_FALSE(t.numa_detected);
+}
+
+TEST(Topology, NodeOfWorkerIsMonotoneAndInRange) {
+  const Topology t = Topology::clustered(16, 4);
+  for (int workers : {1, 2, 5, 16, 40}) {
+    int prev = 0;
+    for (int w = 0; w < workers; ++w) {
+      const int n = t.node_of_worker(w, workers);
+      ASSERT_GE(n, 0);
+      ASSERT_LT(n, static_cast<int>(t.nodes.size()));
+      ASSERT_GE(n, prev) << "workers " << workers << " worker " << w;
+      prev = n;
+    }
+  }
+}
+
+TEST(Topology, DetectIsNeverEmpty) {
+  const Topology t = Topology::detect();
+  ASSERT_FALSE(t.nodes.empty());
+  for (const auto& n : t.nodes) EXPECT_FALSE(n.cpus.empty());
+  EXPECT_GE(t.total_cpus, 1);
+}
+
+// --------------------------------------------------------- TaskPool ----
+
+TEST(TaskPool, RunExecutesEveryTaskExactlyOnce) {
+  TaskPool pool(4, Topology::clustered(4, 2));
+  constexpr std::size_t kTasks = 500;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+  std::vector<int> home(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i)
+    home[i] = static_cast<int>(i % 4);
+  pool.run(home, [&](std::size_t i, int wkr) {
+    ASSERT_GE(wkr, 0);
+    ASSERT_LT(wkr, 4);
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kTasks; ++i)
+    ASSERT_EQ(hits[i].load(std::memory_order_relaxed), 1) << "task " << i;
+  const TaskPoolStats s = pool.stats();
+  EXPECT_EQ(s.submitted, kTasks);
+  EXPECT_EQ(s.executed, kTasks);
+  EXPECT_EQ(s.stolen + 0, s.stolen);  // stolen is workload-dependent
+}
+
+TEST(TaskPool, EmptyBatchCompletesInline) {
+  TaskPool pool(2, Topology::clustered(2, 2));
+  pool.run({}, [](std::size_t, int) { FAIL() << "no tasks to run"; });
+  bool done_ran = false;
+  pool.run_async(
+      {}, [](std::size_t, int) {},
+      [&](std::exception_ptr err) {
+        EXPECT_EQ(err, nullptr);
+        done_ran = true;  // inline: same thread, no sync needed
+      });
+  EXPECT_TRUE(done_ran);
+}
+
+TEST(TaskPool, RethrowsFirstTaskError) {
+  TaskPool pool(3, Topology::clustered(3, 2));
+  const std::vector<int> home = {0, 1, 2, 0, 1, 2};
+  EXPECT_THROW(pool.run(home,
+                        [&](std::size_t i, int) {
+                          if (i == 4) throw numerical_error("poisoned task");
+                        }),
+               numerical_error);
+  // The pool survives an erroring batch and runs the next one.
+  std::atomic<int> ok{0};
+  pool.run(home, [&](std::size_t, int) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 6);
+}
+
+TEST(TaskPool, RunAsyncDeliversCompletionOffThread) {
+  TaskPool pool(2, Topology::clustered(2, 2));
+  std::vector<int> home(64);
+  for (std::size_t i = 0; i < home.size(); ++i)
+    home[i] = static_cast<int>(i % 2);
+  std::atomic<int> ran{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  bool completed = false;
+  std::exception_ptr got = std::make_exception_ptr(error("sentinel"));
+  pool.run_async(
+      home, [&](std::size_t, int) { ran.fetch_add(1); },
+      [&](std::exception_ptr err) {
+        std::lock_guard<std::mutex> lk(mu);
+        got = err;
+        completed = true;
+        cv.notify_all();
+      });
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&] { return completed; });
+  EXPECT_EQ(ran.load(), 64);
+  EXPECT_EQ(got, nullptr);
+}
+
+TEST(TaskPool, SharedRegistryReturnsOnePoolPerWidth) {
+  const auto a = TaskPool::shared(3);
+  const auto b = TaskPool::shared(3);
+  const auto c = TaskPool::shared(2);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(a->workers(), 3);
+  EXPECT_EQ(c->workers(), 2);
+}
+
+TEST(TaskPool, RejectsOutOfRangeHome) {
+  TaskPool pool(2, Topology::clustered(2, 2));
+  const std::vector<int> home = {0, 7};  // 7 >= workers
+  EXPECT_ANY_THROW(pool.run(home, [](std::size_t, int) {}));
+}
+
+// ----------------------------------------------------- TaskGraphSpmv ----
+
+/// Adversarially skewed matrix: one ultra-heavy dense row, a block of
+/// empty rows, and a moderately sparse tail — the static partition can
+/// not balance this, so the steal path must.
+Coo<double> skewed_coo(index_t rows, index_t cols, std::uint64_t seed) {
+  Coo<double> coo(rows, cols);
+  Xoshiro256 rng(seed);
+  for (index_t j = 0; j < cols; ++j)  // dense row 0
+    coo.add(0, j, 0.5 + rng.uniform());
+  // rows [1, rows/3): empty. Tail: ~6 nnz/row.
+  for (index_t i = rows / 3; i < rows; ++i)
+    for (int k = 0; k < 6; ++k)
+      coo.add(i, static_cast<index_t>(rng.below(static_cast<std::uint64_t>(
+                     cols))),
+              0.1 + rng.uniform());
+  return coo;
+}
+
+/// One representative candidate per parallel format kind (block shape /
+/// diagonal length chosen to exercise padding).
+Candidate parity_candidate(FormatKind kind) {
+  switch (kind) {
+    case FormatKind::kBcsr:
+    case FormatKind::kBcsrDec:
+      return Candidate{kind, BlockShape{3, 2}, 0, Impl::kScalar};
+    case FormatKind::kBcsd:
+    case FormatKind::kBcsdDec:
+      return Candidate{kind, BlockShape{1, 1}, 4, Impl::kScalar};
+    default:
+      return Candidate{kind, BlockShape{1, 1}, 0, Impl::kScalar};
+  }
+}
+
+class TaskGraphParity : public ::testing::TestWithParam<int> {};
+
+// Every parallel format in the registry, scalar + simd, bitwise against
+// the serial kernels on a skewed matrix. Mirrors ThreadedParity in
+// test_parallel.cpp but through the task backend (and OpenMP-free).
+TEST_P(TaskGraphParity, RegistryFormatsMatchSerialBitwise) {
+  const int threads = GetParam();
+  const Coo<double> coo = skewed_coo(120, 96, 11);
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  const auto x = random_x<double>(96, 5);
+  const std::size_t n = 120;
+
+  int parallel_formats = 0;
+  for_each_format<double>([&](auto tag) {
+    using F = typename decltype(tag)::type;
+    using Ops = FormatOps<F>;
+    if constexpr (Ops::kParallel) {
+      ++parallel_formats;
+      const Candidate c = parity_candidate(Ops::kKind);
+      const F m = Ops::convert(a, c);
+      const TaskGraphSpmv<F> driver(m, threads);
+      for (Impl impl : {Impl::kScalar, Impl::kSimd}) {
+        aligned_vector<double> ys(n, 0.0), yp(n, -1.0);
+        spmv(m, x.data(), ys.data(), impl);
+        driver.run(x.data(), yp.data(), impl);
+        for (std::size_t i = 0; i < n; ++i)
+          ASSERT_EQ(yp[i], ys[i])
+              << c.id() << " impl=" << impl_name(impl)
+              << " threads=" << threads << " row " << i;
+      }
+    }
+  });
+  EXPECT_EQ(parallel_formats, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, TaskGraphParity,
+                         ::testing::Values(1, 2, 4, 7));
+
+TEST(TaskStress, SkewedSevenThreadRepeatedRuns) {
+  // The CI steal-stress case: 7 workers × 30 back-to-back runs over a
+  // skewed matrix keeps the deques contended; output must stay bitwise
+  // stable across runs regardless of who stole what.
+  const Csr<double> a = Csr<double>::from_coo(skewed_coo(400, 300, 17));
+  const auto x = random_x<double>(300, 23);
+  aligned_vector<double> ys(400, 0.0);
+  spmv(a, x.data(), ys.data());
+
+  const TaskGraphSpmv<Csr<double>> driver(a, 7);
+  aligned_vector<double> y(400);
+  for (int rep = 0; rep < 30; ++rep) {
+    std::fill(y.begin(), y.end(), -1.0);
+    driver.run(x.data(), y.data());
+    for (std::size_t i = 0; i < 400; ++i)
+      ASSERT_EQ(y[i], ys[i]) << "rep " << rep << " row " << i;
+  }
+  const TaskPoolStats s = driver.pool().stats();
+  EXPECT_GE(s.executed, 30u);  // shared pool: at least our tasks ran
+}
+
+TEST(TaskStress, ConcurrentDriversShareOnePool) {
+  // Two driver objects over different matrices submit to the same shared
+  // pool from two submitter threads at once — the serving daemon's
+  // steady state. Both must stay bitwise correct.
+  const Csr<double> a1 = Csr<double>::from_coo(skewed_coo(200, 150, 31));
+  const Csr<double> a2 = Csr<double>::from_coo(
+      random_blocky_coo<double>(180, 150, 3, 0.4, 0.8, 33));
+  const auto x = random_x<double>(150, 3);
+  aligned_vector<double> r1(200, 0.0), r2(180, 0.0);
+  spmv(a1, x.data(), r1.data());
+  spmv(a2, x.data(), r2.data());
+
+  const TaskGraphSpmv<Csr<double>> d1(a1, 4), d2(a2, 4);
+  EXPECT_EQ(&d1.pool(), &d2.pool());
+  std::atomic<int> failures{0};
+  auto hammer = [&](const TaskGraphSpmv<Csr<double>>& d,
+                    const aligned_vector<double>& ref, std::size_t rows) {
+    aligned_vector<double> y(rows);
+    for (int rep = 0; rep < 20; ++rep) {
+      std::fill(y.begin(), y.end(), -1.0);
+      d.run(x.data(), y.data());
+      for (std::size_t i = 0; i < rows; ++i)
+        if (y[i] != ref[i]) failures.fetch_add(1);
+    }
+  };
+  std::thread t1([&] { hammer(d1, r1, 200); });
+  std::thread t2([&] { hammer(d2, r2, 180); });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(TaskGraph, OverDecomposesAndSkipsEmptySlices) {
+  const Csr<double> a = Csr<double>::from_coo(skewed_coo(400, 100, 41));
+  const TaskGraphSpmv<Csr<double>> d(a, 4);
+  // ~kTasksPerThread tasks per worker, never more than one per granule.
+  EXPECT_GT(d.task_count(0), 4u);
+  EXPECT_LE(d.task_count(0), 4u * TaskGraphSpmv<Csr<double>>::kTasksPerThread);
+}
+
+TEST(TaskGraph, AsyncRunMatchesSyncBitwise) {
+  const Csr<double> a = Csr<double>::from_coo(skewed_coo(150, 120, 47));
+  const auto x = random_x<double>(120, 9);
+  const TaskGraphSpmv<Csr<double>> d(a, 3);
+  aligned_vector<double> ysync(150, -1.0), yasync(150, -1.0);
+  d.run(x.data(), ysync.data());
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool completed = false;
+  std::exception_ptr got;
+  d.run_async(x.data(), yasync.data(), Impl::kScalar, nullptr,
+              [&](std::exception_ptr err) {
+                std::lock_guard<std::mutex> lk(mu);
+                got = err;
+                completed = true;
+                cv.notify_all();
+              });
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&] { return completed; });
+  EXPECT_EQ(got, nullptr);
+  for (std::size_t i = 0; i < 150; ++i)
+    ASSERT_EQ(yasync[i], ysync[i]) << "row " << i;
+}
+
+TEST(TaskGraph, MultiPassFormatAsyncChainsPasses) {
+  // BcsrDec has two passes; the async path must chain them through the
+  // completion callback with a real barrier in between.
+  const Csr<double> a = Csr<double>::from_coo(
+      random_blocky_coo<double>(96, 90, 3, 0.4, 0.9, 51));
+  const BcsrDec<double> m = BcsrDec<double>::from_csr(a, BlockShape{3, 1});
+  const auto x = random_x<double>(90, 13);
+  aligned_vector<double> ys(96, 0.0), ya(96, -1.0);
+  spmv(m, x.data(), ys.data());
+
+  const TaskGraphSpmv<BcsrDec<double>> d(m, 4);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool completed = false;
+  d.run_async(x.data(), ya.data(), Impl::kScalar, nullptr,
+              [&](std::exception_ptr err) {
+                EXPECT_EQ(err, nullptr);
+                std::lock_guard<std::mutex> lk(mu);
+                completed = true;
+                cv.notify_all();
+              });
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk, [&] { return completed; });
+  for (std::size_t i = 0; i < 96; ++i) ASSERT_EQ(ya[i], ys[i]) << i;
+}
+
+TEST(TaskGraph, RunMultiMatchesBulkBackendBitwise) {
+  const Csr<double> a = Csr<double>::from_coo(skewed_coo(130, 110, 57));
+  const auto X = random_x<double>(110 * 3, 29);
+  const TaskGraphSpmv<Csr<double>> d(a, 4);
+  for (Layout layout : {Layout::kRowMajor, Layout::kColMajor}) {
+    // Reference: serial run per extracted vector (identical per-row
+    // accumulation order).
+    aligned_vector<double> yref(130 * 3, 0.0), y(130 * 3, -1.0);
+    for (int j = 0; j < 3; ++j) {
+      aligned_vector<double> xj(110), yj(130, 0.0);
+      for (index_t i = 0; i < 110; ++i)
+        xj[static_cast<std::size_t>(i)] =
+            layout == Layout::kRowMajor
+                ? X[static_cast<std::size_t>(i) * 3 +
+                    static_cast<std::size_t>(j)]
+                : X[static_cast<std::size_t>(j) * 110 +
+                    static_cast<std::size_t>(i)];
+      spmv(a, xj.data(), yj.data());
+      for (index_t i = 0; i < 130; ++i)
+        yref[layout == Layout::kRowMajor
+                 ? static_cast<std::size_t>(i) * 3 +
+                       static_cast<std::size_t>(j)
+                 : static_cast<std::size_t>(j) * 130 +
+                       static_cast<std::size_t>(i)] =
+            yj[static_cast<std::size_t>(i)];
+    }
+    d.run_multi(X.data(), y.data(), 3, layout);
+    for (std::size_t i = 0; i < y.size(); ++i)
+      ASSERT_EQ(y[i], yref[i]) << "layout "
+                               << (layout == Layout::kRowMajor ? "row" : "col")
+                               << " elem " << i;
+  }
+}
+
+TEST(TaskGraph, WarmUpZeroFillsYAndPreservesX) {
+  const Csr<double> a = Csr<double>::from_coo(skewed_coo(90, 80, 61));
+  const TaskGraphSpmv<Csr<double>> d(a, 3);
+  auto x = random_x<double>(80, 37);
+  const aligned_vector<double> x_before = x;
+  aligned_vector<double> y(90, -1.0);
+  d.warm_up(x.data(), y.data());
+  for (std::size_t j = 0; j < 80; ++j)
+    ASSERT_EQ(x[j], x_before[j]) << "x changed at " << j;
+  for (std::size_t i = 0; i < 90; ++i) ASSERT_EQ(y[i], 0.0) << "row " << i;
+  // Null pointers skip the respective vector.
+  d.warm_up(nullptr, nullptr);
+}
+
+TEST(TaskGraph, PreStoppedControlLeavesOutputUntouched) {
+  const Csr<double> a = Csr<double>::from_coo(skewed_coo(60, 50, 67));
+  const auto x = random_x<double>(50, 41);
+  const TaskGraphSpmv<Csr<double>> d(a, 2);
+  RunControl control;
+  control.request_cancel("test: cancelled before submit");
+  aligned_vector<double> y(60, -7.0);
+  d.run(x.data(), y.data(), Impl::kScalar, &control);
+  for (std::size_t i = 0; i < 60; ++i)
+    ASSERT_EQ(y[i], -7.0) << "cancelled run wrote row " << i;
+  EXPECT_THROW(control.throw_if_aborted(), cancelled_error);
+}
+
+TEST(TaskGraph, RejectsMismatchedPoolWidth) {
+  const Csr<double> a = Csr<double>::from_coo(skewed_coo(20, 20, 71));
+  auto pool = TaskPool::shared(2);
+  EXPECT_ANY_THROW((TaskGraphSpmv<Csr<double>>(a, 3, pool)));
+}
+
+}  // namespace
+}  // namespace bspmv
