@@ -7,6 +7,8 @@
 //   $ ./mtx_tool --suite 21 --scale small --measure
 //   $ ./mtx_tool report matrix.mtx --out report.json
 //   $ ./mtx_tool report --validate report.json
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -14,6 +16,9 @@
 
 #include "src/core/engine.hpp"
 #include "src/core/executor.hpp"
+#include "src/dist/driver.hpp"
+#include "src/profile/comm_bench.hpp"
+#include "src/util/timing.hpp"
 #include "src/core/heuristic.hpp"
 #include "src/core/models.hpp"
 #include "src/core/working_set.hpp"
@@ -23,6 +28,7 @@
 #include "src/formats/stats.hpp"
 #include "src/gen/suite.hpp"
 #include "src/io/matrix_market.hpp"
+#include "src/kernels/spmv.hpp"
 #include "src/observe/report.hpp"
 #include "src/profile/block_profiler.hpp"
 #include "src/util/atomic_file.hpp"
@@ -75,6 +81,113 @@ bool load_matrix(const CliParser& cli, std::size_t pos_index, Csr<double>& a,
   return false;
 }
 
+/// `mtx_tool --ranks N` — row-sharded multi-process SpMV with halo
+/// exchange (docs/distribution.md): print the shard plan, run the
+/// requested exchange mode, verify against serial CSR, show the
+/// per-rank send/recv/wait/local/halo timeline, and score the t_comm
+/// model's overlap-vs-naive choice against the measured winner.
+int run_dist(const CliParser& cli, const Csr<double>& a,
+             const MachineProfile& base_profile, int ranks) {
+  const DistMode mode = parse_dist_mode(cli.get("dist-mode"));
+  const int iterations =
+      std::max(1, static_cast<int>(cli.get_int("iterations")));
+
+  MachineProfile profile = base_profile;
+  if (profile.comm_beta_bps <= 0.0) {
+    std::printf("\nprofiling wire comm (machine profile has no alpha/beta)...\n");
+    const CommProfile c = profile_comm(/*quick=*/true);
+    profile.comm_alpha_seconds = c.alpha_seconds;
+    profile.comm_beta_bps = c.beta_bps;
+  }
+  std::printf("\ndistributed run: %d ranks, %s exchange, %d iterations "
+              "(alpha %.2f us, beta %.2f GiB/s)\n",
+              ranks, dist_mode_name(mode), iterations,
+              profile.comm_alpha_seconds * 1e6,
+              profile.comm_beta_bps / (1u << 30));
+
+  dist::DistOptions dopt;
+  dopt.ranks = ranks;
+  dopt.mode = mode;
+  dopt.threads_per_rank = static_cast<int>(cli.get_int("dist-threads"));
+  dist::DistSpmv d(a, dopt);
+
+  std::printf("shard plan (nnz-balanced rows):\n");
+  for (int r = 0; r < ranks; ++r) {
+    const dist::RankShard& sh = d.plan().shards[static_cast<std::size_t>(r)];
+    std::printf("  rank %d: rows [%d, %d)  nnz %zu (local %zu, halo %zu)  "
+                "halo in %zu / out %zu doubles, %d peer(s)\n",
+                r, sh.row_begin, sh.row_end, sh.nnz, sh.local_nnz,
+                sh.halo_nnz, sh.recv_count(), sh.send_count(),
+                sh.peer_count());
+  }
+
+  aligned_vector<double> x(static_cast<std::size_t>(a.cols()));
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = 0.5 + 0.001 * static_cast<double>(i % 1000);
+  aligned_vector<double> y(static_cast<std::size_t>(a.rows()), 0.0);
+
+  d.run(x.data(), y.data(), 1);  // warm-up
+  Timer t;
+  d.run(x.data(), y.data(), iterations);
+  const double measured = t.elapsed() / iterations;
+
+  // Parity check against the serial CSR kernel (the column split only
+  // reorders within-row sums).
+  aligned_vector<double> yref(static_cast<std::size_t>(a.rows()), 0.0);
+  spmv(a, x.data(), yref.data());
+  double max_rel = 0.0;
+  for (std::size_t i = 0; i < yref.size(); ++i) {
+    const double scale = std::max({std::abs(y[i]), std::abs(yref[i]), 1.0});
+    max_rel = std::max(max_rel, std::abs(y[i] - yref[i]) / scale);
+  }
+  if (max_rel > 1e-10)
+    throw numerical_error("distributed result diverges from serial CSR "
+                          "(max rel err " + std::to_string(max_rel) + ")");
+  std::printf("verified against serial CSR: max rel err %.2e\n", max_rel);
+
+  std::printf("per-rank timeline (ms over %d iterations):\n", iterations);
+  std::printf("  %-5s %9s %9s %9s %9s %9s %9s\n", "rank", "send", "recv",
+              "wait", "local", "halo", "total");
+  for (int r = 0; r < ranks; ++r) {
+    const dist::RankStats& s = d.last_stats()[static_cast<std::size_t>(r)];
+    std::printf("  %-5d %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n", r,
+                s.send_seconds * 1e3, s.recv_seconds * 1e3,
+                s.wait_seconds * 1e3, s.local_seconds * 1e3,
+                s.halo_seconds * 1e3, s.total_seconds * 1e3);
+  }
+
+  // Model vs measured, both modes: time the other mode over the same
+  // shard plan, then score choose_dist_mode against the measured winner.
+  const DistMode other =
+      mode == DistMode::kOverlap ? DistMode::kNaive : DistMode::kOverlap;
+  d.set_mode(other);
+  d.run(x.data(), y.data(), 1);
+  Timer t2;
+  d.run(x.data(), y.data(), iterations);
+  const double measured_other = t2.elapsed() / iterations;
+
+  const auto costs = d.rank_costs();
+  const DistMode predicted = choose_dist_mode(profile, costs);
+  // Tie-aware winner: inside the 3% noise floor either prediction is
+  // right — the mode gap is below run-to-run scheduling jitter.
+  constexpr double kNoiseMargin = 0.97;
+  const char* winner = "tie";
+  if (measured < kNoiseMargin * measured_other)
+    winner = dist_mode_name(mode);
+  else if (measured_other < kNoiseMargin * measured)
+    winner = dist_mode_name(other);
+  const bool match = std::string(winner) == "tie" ||
+                     std::string(winner) == dist_mode_name(predicted);
+  std::printf("model: naive %.3f ms, overlap %.3f ms -> %s | measured: "
+              "%s %.3f ms, %s %.3f ms -> %s (%s)\n",
+              predict_distributed(profile, costs, DistMode::kNaive) * 1e3,
+              predict_distributed(profile, costs, DistMode::kOverlap) * 1e3,
+              dist_mode_name(predicted), dist_mode_name(mode), measured * 1e3,
+              dist_mode_name(other), measured_other * 1e3, winner,
+              match ? "model match" : "model miss");
+  return 0;
+}
+
 /// `mtx_tool report` — build a schema-versioned RunReport (predicted vs
 /// measured time per model, Table IV selection scoring, per-thread
 /// timing) and write it as JSON/CSV; or validate an existing report file.
@@ -121,6 +234,11 @@ int run_report(const CliParser& cli) {
   ropt.verbose = cli.get_flag("verbose");
   // Invalid names throw invalid_argument_error -> exit code 1.
   ropt.backend = parse_backend(cli.get("executor"));
+  // --ranks N adds the distributed section (both exchange modes measured
+  // over one shard plan, per-rank timelines, model-vs-winner scoring).
+  ropt.dist_ranks = static_cast<int>(cli.get_int("ranks"));
+  ropt.dist_threads_per_rank = static_cast<int>(cli.get_int("dist-threads"));
+  (void)parse_dist_mode(cli.get("dist-mode"));
 
   const observe::RunReport report =
       observe::build_run_report(a, name, profile, ropt);
@@ -173,6 +291,15 @@ int run(int argc, char** argv) {
   cli.add_option("executor", "bulk",
                  "parallel execution backend: bulk (OpenMP, default) or "
                  "tasks (NUMA-aware work-stealing task graph)");
+  cli.add_option("ranks", "0",
+                 "fork this many rank processes and run the row-sharded "
+                 "distributed SpMV (docs/distribution.md); report: adds "
+                 "the dist section");
+  cli.add_option("dist-mode", "overlap",
+                 "halo exchange mode with --ranks: overlap (hide comm "
+                 "under the local pass) or naive (exchange then compute)");
+  cli.add_option("dist-threads", "1",
+                 "TaskPool workers per rank's local pass (0 = serial)");
   cli.add_flag("check-numerics",
                "scan vectors for NaN/Inf and verify output fingerprints");
   cli.add_flag("measure", "also measure the top candidates' real time");
@@ -229,6 +356,7 @@ int run(int argc, char** argv) {
   // Validate eagerly even where only `report` consumes it, so a typo
   // fails fast with exit code 1 instead of silently running bulk.
   (void)parse_backend(cli.get("executor"));
+  (void)parse_dist_mode(cli.get("dist-mode"));
   // k-aware selection: with --rhs k > 1 every ranking below optimises
   // one k-wide SpMM multiply instead of a single SpMV (docs/spmm.md).
   const Workload workload{rhs, layout};
@@ -240,6 +368,9 @@ int run(int argc, char** argv) {
   popt.quick = true;
   popt.control = control;
   const MachineProfile profile = load_or_profile(cli.get("profile"), popt);
+
+  if (const int ranks = static_cast<int>(cli.get_int("ranks")); ranks != 0)
+    return run_dist(cli, a, profile, ranks);
 
   if (rhs > 1)
     std::printf("\nmodel selections (k-aware, %d rhs, %s):\n", rhs,

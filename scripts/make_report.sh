@@ -12,6 +12,8 @@
 #                            blocked-vs-CSR crossover table, docs/spmm.md)
 #   BENCH_kernels_micro.json bench_kernels_micro GFLOP/s per kernel plus
 #                            the geomean headline
+#   BENCH_dist.json          bench_dist at small scale (4-rank overlap vs
+#                            naive halo exchange, docs/distribution.md)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -32,8 +34,10 @@ fi
 tool=build/examples/mtx_tool
 [ -x "$tool" ] || { echo "make_report: $tool not built" >&2; exit 1; }
 
-# Scratch per-suite reports land in reports/ (gitignored); only the
-# appended BENCH_report.json trajectory is checked in.
+# Scratch per-suite reports land in reports/ (gitignored). The appended
+# BENCH_report.json trajectory is ALSO gitignored — it is a per-machine
+# local history, not a committed baseline; the checked-in baselines are
+# the BENCH_*.json files written by --bench below.
 mkdir -p reports
 
 # Small dense-ish, large sparse, and the paper's hardest irregular case.
@@ -46,6 +50,7 @@ done
 
 if [ "$bench" = 1 ]; then
   build/bench/bench_spmm --scale small --out BENCH_spmm.json
+  build/bench/bench_dist --scale small --out BENCH_dist.json
   build/bench/bench_kernels_micro --benchmark_format=json \
     2>/dev/null >/tmp/kernels_micro_raw.json
   python3 - <<'EOF'

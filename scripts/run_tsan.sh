@@ -8,9 +8,16 @@
 #     parity cases (7 workers over adversarially skewed generator
 #     matrices, docs/tasking.md). The deque deliberately uses seq_cst
 #     operations instead of standalone fences so TSan can actually
-#     verify these paths.
+#     verify these paths;
+#   - test_dist, DistComm cases only: the halo exchange's per-peer
+#     send/recv threads over real socketpairs, in-process
+#     (docs/distribution.md) — concurrent pairwise exchange,
+#     first-error propagation, and peer-EOF typed errors. The
+#     fork-based DistSpmv cases stay out (TSan's runtime does not
+#     survive multi-threaded fork() children), and the HaloDecFormat
+#     parity cases stay out because they drive the OpenMP ThreadedSpmv.
 #
-# Scope: only those two binaries. They are deliberately OpenMP-free;
+# Scope: only those binaries, and only their OpenMP-free cases;
 # TSan has well-known false positives with libgomp's barrier/team
 # implementation (it cannot see GOMP's internal synchronisation), so the
 # bulk-synchronous OpenMP drivers are excluded here and covered by
@@ -28,11 +35,11 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DBSPMV_BUILD_BENCH=OFF \
   -DBSPMV_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target test_run_control test_task_graph
+  --target test_run_control test_task_graph test_dist
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
 ctest --test-dir "$build_dir" --output-on-failure --timeout 300 \
   -j "$(nproc)" \
-  -R '^(RunControl|Watchdog|AtomicFile|RobustSamples|Numerics|Backend|WorkQueue|Topology|TaskPool|TaskStress|TaskGraph|Threads/TaskGraphParity)\.' \
+  -R '^(RunControl|Watchdog|AtomicFile|RobustSamples|Numerics|Backend|WorkQueue|Topology|TaskPool|TaskStress|TaskGraph|Threads/TaskGraphParity|DistComm)\.' \
   "$@"

@@ -1,6 +1,7 @@
 #include "src/core/models.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "src/parallel/partition.hpp"
 #include "src/util/macros.hpp"
@@ -284,6 +285,108 @@ double predict_parallel(ModelKind model, const CandidateCost& cost,
     return base + overhead.task_imbalance * share +
            overhead.steal_overhead_seconds;
   return base + overhead.bulk_imbalance * share;
+}
+
+// ----------------------------------------------------------------------
+// Distributed extension
+// ----------------------------------------------------------------------
+
+const char* dist_mode_name(DistMode m) {
+  return m == DistMode::kNaive ? "naive" : "overlap";
+}
+
+DistMode parse_dist_mode(const std::string& s) {
+  if (s == "naive") return DistMode::kNaive;
+  if (s == "overlap") return DistMode::kOverlap;
+  throw invalid_argument_error("unknown dist mode '" + s +
+                               "' (expected 'naive' or 'overlap')");
+}
+
+double t_comm(const MachineProfile& profile, std::size_t bytes, int msgs) {
+  if (profile.comm_beta_bps <= 0.0)
+    throw invalid_argument_error(
+        "machine profile carries no comm parameters (comm_beta_bps == 0); "
+        "profile α/β first (profile_comm)");
+  return profile.comm_alpha_seconds * msgs +
+         static_cast<double>(bytes) / profile.comm_beta_bps;
+}
+
+namespace {
+
+/// Cycle-stealing penalty on the wire-streaming (memcpy) part of the
+/// exchange when it cannot run on a spare core: interleaving the copy
+/// with the local-columns pass evicts the compute working set, so each
+/// copied byte effectively crosses the memory system twice.
+constexpr double kOversubscribedCopyPenalty = 2.0;
+
+int resolve_cores(int cores) {
+  if (cores > 0) return cores;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+double predict_distributed(const MachineProfile& profile,
+                           std::span<const DistRankCost> ranks,
+                           DistMode mode, int cores) {
+  // The ranks' memory streams share the node's bandwidth, like the
+  // threads of predict_multicore: each active rank sees BW / active.
+  int active = 0;
+  for (const auto& r : ranks)
+    if (r.local_ws_bytes + r.halo_ws_bytes > 0) ++active;
+  if (active == 0) return 0.0;
+  const double bw = profile.bandwidth_bps / active;
+  // Spare cores beyond the compute ranks are what lets the exchange
+  // threads actually stream bytes while the local pass runs; without
+  // them the copy steals compute cycles instead (see models.hpp).
+  const bool spare_cores = resolve_cores(cores) > active;
+
+  double worst = 0.0;
+  for (const auto& r : ranks) {
+    const double t_local = static_cast<double>(r.local_ws_bytes) / bw;
+    const double t_halo = static_cast<double>(r.halo_ws_bytes) / bw;
+    const int msgs = r.msgs_sent + r.msgs_recv;
+    double t = t_local + t_halo;
+    if (msgs > 0) {
+      if (profile.comm_beta_bps <= 0.0)  // same guard as t_comm
+        (void)t_comm(profile, 0, 0);
+      const double t_block = profile.comm_alpha_seconds * msgs;
+      const double t_stream =
+          static_cast<double>(r.bytes_sent + r.bytes_recv) /
+          profile.comm_beta_bps;
+      if (mode == DistMode::kNaive) {
+        // Exchange completes before any compute starts: the rank pays
+        // the full wire cost serially, with no interference.
+        t = t_block + t_stream + t_local + t_halo;
+      } else if (spare_cores) {
+        // The exchange threads run on their own cores: the whole wire
+        // cost hides under the local-columns pass.
+        t = std::max(t_block + t_stream, t_local) + t_halo;
+      } else {
+        // Oversubscribed: blocking time still hides (the CPU computes
+        // while waiting on peers), but the copy interleaves with the
+        // compute at a thrash penalty.
+        t = std::max(t_block, t_local) +
+            kOversubscribedCopyPenalty * t_stream + t_halo;
+      }
+    }
+    worst = std::max(worst, t);
+  }
+  return worst;
+}
+
+DistMode choose_dist_mode(const MachineProfile& profile,
+                          std::span<const DistRankCost> ranks, int cores) {
+  const double naive =
+      predict_distributed(profile, ranks, DistMode::kNaive, cores);
+  const double overlap =
+      predict_distributed(profile, ranks, DistMode::kOverlap, cores);
+  // Strictly-faster wins; a dead heat keeps the serialised exchange. No
+  // noise margin here: the split comm model already separates the modes
+  // by physically real terms (hidden α·msgs vs the unhidden copy), so
+  // the sign of a small predicted gap is informative, not jitter.
+  return overlap < naive ? DistMode::kOverlap : DistMode::kNaive;
 }
 
 template IrregularityStats irregularity_stats(const Csr<float>&);

@@ -128,6 +128,72 @@ int spmm_layout_crossover_k(ModelKind model, const CandidateCost& cost,
                             const std::vector<int>& ks,
                             const IrregularityStats* irr = nullptr);
 
+// ----------------------------------------------------------------------
+// Distributed extension: t_comm = α·msgs + bytes/β
+// ----------------------------------------------------------------------
+//
+// Row-sharded multi-process SpMV (src/dist/, docs/distribution.md)
+// exchanges the x-vector halo every iteration. The exchange is either
+// serialised before the compute (naive, the "vector mode" of arXiv
+// 1106.5908) or run concurrently with the local-columns pass (overlap).
+// The models gain a latency/bandwidth communication term and a chooser
+// that predicts, per shard plan, which mode wins.
+
+/// Halo-exchange strategy of the distributed runtime.
+enum class DistMode { kNaive, kOverlap };
+
+const char* dist_mode_name(DistMode m);
+/// Parse "naive" / "overlap"; throws invalid_argument_error otherwise.
+DistMode parse_dist_mode(const std::string& s);
+
+/// One rank's model inputs, derived purely from the shard plan
+/// (ShardPlan::rank_costs) — no timing required.
+struct DistRankCost {
+  std::size_t local_ws_bytes = 0;  ///< local-columns submatrix + x/y slices
+  std::size_t halo_ws_bytes = 0;   ///< halo-columns submatrix + halo x
+  std::size_t bytes_sent = 0;      ///< halo payload bytes out, per iteration
+  std::size_t bytes_recv = 0;      ///< halo payload bytes in, per iteration
+  int msgs_sent = 0;               ///< halo frames out, per iteration
+  int msgs_recv = 0;               ///< halo frames in, per iteration
+};
+
+/// Latency/bandwidth cost of moving `bytes` in `msgs` frames between two
+/// ranks on this machine: α·msgs + bytes/β, with α/β profiled over the
+/// actual socketpair wire path (MachineProfile::comm_*). Throws
+/// invalid_argument_error when the profile carries no comm parameters.
+double t_comm(const MachineProfile& profile, std::size_t bytes, int msgs);
+
+/// Predicted seconds per distributed SpMV iteration under `mode`: every
+/// rank streams its shard at the shared-bandwidth rate (BW divided over
+/// the ranks with work, as in predict_multicore), pays its halo traffic,
+/// then runs the halo-columns pass; the iteration ends when the slowest
+/// rank does.
+///
+/// The comm term t_comm = α·msgs + bytes/β splits into two physically
+/// different costs, and overlap treats them differently:
+///   - α·msgs is *blocking* time (waiting for peers / the kernel): the
+///     CPU is free, so overlap always hides it under the local pass;
+///   - bytes/β is *streaming* time (the socketpair memcpy): it needs CPU
+///     cycles, so it only hides when spare cores exist beyond the ranks
+///     (`cores > active`). On an oversubscribed node the copy instead
+///     interleaves with the compute, stealing its cycles and evicting
+///     its working set — overlap then pays the copy at a thrash penalty
+///     while naive pays it once, serially, with no interference.
+/// `cores` is the node's hardware concurrency; 0 means "ask the OS".
+double predict_distributed(const MachineProfile& profile,
+                           std::span<const DistRankCost> ranks,
+                           DistMode mode, int cores = 0);
+
+/// The selector's overlap-vs-naive choice for a shard plan: strictly
+/// faster predicted overlap wins, otherwise naive (its serialised
+/// exchange is the simpler machinery). The split comm model makes the
+/// sign meaningful even for close calls — latency-dominated exchanges
+/// favour overlap by ~α·msgs, bandwidth-dominated ones favour naive by
+/// the unhidden copy penalty.
+DistMode choose_dist_mode(const MachineProfile& profile,
+                          std::span<const DistRankCost> ranks,
+                          int cores = 0);
+
 #define BSPMV_DECL(V) \
   extern template IrregularityStats irregularity_stats(const Csr<V>&);
 BSPMV_DECL(float)

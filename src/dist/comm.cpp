@@ -1,0 +1,153 @@
+#include "src/dist/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/errors.hpp"
+#include "src/util/macros.hpp"
+#include "src/util/timing.hpp"
+
+namespace bspmv::dist {
+
+using serve::MsgType;
+
+HaloExchange::HaloExchange(const RankShard& shard, int my_rank,
+                           std::vector<int> peer_fds,
+                           serve::WireLimits limits)
+    : shard_(shard),
+      my_rank_(my_rank),
+      peer_fds_(std::move(peer_fds)),
+      limits_(limits) {
+  const int ranks = static_cast<int>(shard.halo_seg.size()) - 1;
+  for (int p = 0; p < ranks; ++p) {
+    if (p == my_rank_) continue;
+    const bool sends = static_cast<std::size_t>(p) < shard.send_cols.size() &&
+                       !shard.send_cols[static_cast<std::size_t>(p)].empty();
+    const bool recvs = shard.halo_seg[static_cast<std::size_t>(p) + 1] >
+                       shard.halo_seg[static_cast<std::size_t>(p)];
+    if (!sends && !recvs) continue;
+    BSPMV_CHECK_MSG(static_cast<std::size_t>(p) < peer_fds_.size() &&
+                        peer_fds_[static_cast<std::size_t>(p)] >= 0,
+                    "halo exchange has traffic with rank " +
+                        std::to_string(p) + " but no channel to it");
+    peers_.push_back(p);
+  }
+  send_buf_.resize(peers_.size());
+  thread_stats_.resize(peers_.size());
+  for (std::size_t s = 0; s < peers_.size(); ++s)
+    send_buf_[s].resize(
+        shard.send_cols[static_cast<std::size_t>(peers_[s])].size());
+}
+
+HaloExchange::~HaloExchange() {
+  // A caller that errored between start() and finish() must not leak
+  // running threads; swallow secondary errors (the first one already
+  // propagated).
+  if (in_flight_) {
+    try {
+      finish();
+    } catch (...) {
+    }
+  }
+}
+
+void HaloExchange::start(const double* x_owned, double* halo_x,
+                         std::uint32_t iter) {
+  BSPMV_CHECK_MSG(!in_flight_, "halo exchange already in flight");
+  in_flight_ = true;
+  first_error_ = nullptr;
+  threads_.clear();
+  threads_.reserve(peers_.size());
+  for (std::size_t s = 0; s < peers_.size(); ++s)
+    threads_.emplace_back([this, s, x_owned, halo_x, iter] {
+      try {
+        exchange_with(s, peers_[s], x_owned, halo_x, iter);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    });
+}
+
+void HaloExchange::finish() {
+  BSPMV_CHECK_MSG(in_flight_, "halo exchange finish() without start()");
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  in_flight_ = false;
+  for (auto& st : thread_stats_) {
+    totals_.send_seconds += st.send_seconds;
+    totals_.recv_seconds += st.recv_seconds;
+    totals_.bytes_sent += st.bytes_sent;
+    totals_.bytes_recv += st.bytes_recv;
+    totals_.msgs_sent += st.msgs_sent;
+    totals_.msgs_recv += st.msgs_recv;
+    st = RankStats{};
+  }
+  if (first_error_) {
+    auto e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void HaloExchange::exchange_with(std::size_t slot, int peer,
+                                 const double* x_owned, double* halo_x,
+                                 std::uint32_t iter) {
+  const int fd = peer_fds_[static_cast<std::size_t>(peer)];
+  RankStats& st = thread_stats_[slot];
+  const auto& send_idx = shard_.send_cols[static_cast<std::size_t>(peer)];
+  const index_t r0 = shard_.halo_seg[static_cast<std::size_t>(peer)];
+  const index_t r1 = shard_.halo_seg[static_cast<std::size_t>(peer) + 1];
+
+  auto do_send = [&] {
+    if (send_idx.empty()) return;
+    Timer t;
+    auto& buf = send_buf_[slot];
+    for (std::size_t i = 0; i < send_idx.size(); ++i)
+      buf[i] = x_owned[send_idx[i]];
+    HaloMsg msg;
+    msg.from = static_cast<std::uint32_t>(my_rank_);
+    msg.iter = iter;
+    msg.x = buf;
+    const std::string payload = msg.encode();
+    serve::write_frame(fd, MsgType::kHalo, payload, limits_);
+    st.send_seconds += t.elapsed();
+    st.bytes_sent += payload.size();
+    ++st.msgs_sent;
+  };
+  auto do_recv = [&] {
+    if (r1 == r0) return;
+    Timer t;
+    MsgType type{};
+    std::string payload;
+    if (!serve::read_frame(fd, type, payload, limits_))
+      throw io_error("rank " + std::to_string(peer) +
+                     " closed its halo channel mid-exchange");
+    if (type != MsgType::kHalo)
+      throw parse_error(std::string("expected halo frame, got ") +
+                        serve::msg_type_name(type));
+    HaloMsg msg = HaloMsg::decode(payload);
+    if (msg.from != static_cast<std::uint32_t>(peer) || msg.iter != iter)
+      throw parse_error("halo frame from wrong peer or iteration (from " +
+                        std::to_string(msg.from) + ", iter " +
+                        std::to_string(msg.iter) + ")");
+    if (msg.x.size() != static_cast<std::size_t>(r1 - r0))
+      throw parse_error("halo frame holds " + std::to_string(msg.x.size()) +
+                        " values, segment needs " + std::to_string(r1 - r0));
+    std::memcpy(halo_x + r0, msg.x.data(), msg.x.size() * sizeof(double));
+    st.recv_seconds += t.elapsed();
+    st.bytes_recv += payload.size();
+    ++st.msgs_recv;
+  };
+
+  // Matched pairwise ordering: the lower rank of every pair sends first.
+  if (my_rank_ < peer) {
+    do_send();
+    do_recv();
+  } else {
+    do_recv();
+    do_send();
+  }
+}
+
+}  // namespace bspmv::dist

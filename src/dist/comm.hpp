@@ -1,0 +1,75 @@
+// Pairwise halo exchange over socketpair channels.
+//
+// Each rank holds one full-duplex fd per peer (the mesh is wired up by
+// the driver before forking). One iteration's exchange runs one thread
+// per peer with traffic; within each pair the lower rank sends first and
+// the higher rank receives first, so every send always has a matching
+// reader and the exchange cannot deadlock no matter how large the halo
+// payloads are relative to the socket buffers (the classic pairwise
+// matched ordering).
+//
+// start()/finish() split the exchange so the overlap mode can run the
+// local-columns SpMV between them while bytes are in flight; calling
+// them back-to-back is the naive exchange-then-compute mode. The class
+// owns no sockets and spawns no threads outside start()..finish(), so it
+// is equally at home in a forked rank (src/dist/rank.*) and in the
+// in-process N-threads-as-N-ranks tests TSan verifies.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/dist/messages.hpp"
+#include "src/dist/shard_plan.hpp"
+#include "src/serve/protocol.hpp"
+
+namespace bspmv::dist {
+
+class HaloExchange {
+ public:
+  /// `peer_fds` is indexed by rank (-1 for self and absent peers); only
+  /// peers with traffic in `shard` are ever touched. The shard reference
+  /// must outlive the exchange.
+  HaloExchange(const RankShard& shard, int my_rank,
+               std::vector<int> peer_fds, serve::WireLimits limits);
+  ~HaloExchange();
+  HaloExchange(const HaloExchange&) = delete;
+  HaloExchange& operator=(const HaloExchange&) = delete;
+
+  /// Launch the per-peer exchange threads for iteration `iter`: gather
+  /// each peer's send list from `x_owned` (the rank's owned x slice) and
+  /// fill `halo_x` (length shard.halo_count()) segment by segment as
+  /// peer frames arrive. Neither buffer may be touched by the caller
+  /// until finish() returns (x_owned is read-only throughout).
+  void start(const double* x_owned, double* halo_x, std::uint32_t iter);
+
+  /// Join the exchange threads; rethrows the first peer failure (typed:
+  /// io_error on a dead peer, parse_error on a corrupt or crossed frame,
+  /// timeout_error when a peer stalls past the wire limits).
+  void finish();
+
+  /// Accumulated over all completed start()/finish() rounds.
+  const RankStats& totals() const { return totals_; }
+
+ private:
+  void exchange_with(std::size_t slot, int peer, const double* x_owned,
+                     double* halo_x, std::uint32_t iter);
+
+  const RankShard& shard_;
+  int my_rank_;
+  std::vector<int> peer_fds_;
+  serve::WireLimits limits_;
+  std::vector<int> peers_;  ///< ranks with traffic, ascending
+  std::vector<std::vector<double>> send_buf_;  ///< per peer slot
+  std::vector<std::thread> threads_;
+  std::vector<RankStats> thread_stats_;  ///< per peer slot, joined into totals_
+  std::mutex err_mu_;
+  std::exception_ptr first_error_;
+  RankStats totals_;
+  bool in_flight_ = false;
+};
+
+}  // namespace bspmv::dist

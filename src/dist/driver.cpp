@@ -1,0 +1,289 @@
+#include "src/dist/driver.hpp"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "src/dist/rank.hpp"
+#include "src/observe/observe.hpp"
+#include "src/observe/registry.hpp"
+#include "src/util/errors.hpp"
+#include "src/util/macros.hpp"
+#include "src/util/timing.hpp"
+
+namespace bspmv::dist {
+
+using serve::MsgType;
+
+namespace {
+
+/// One full-duplex socketpair; [0] stays with `a`, [1] with `b`.
+struct Pair {
+  int fds[2] = {-1, -1};
+};
+
+void make_pair_or_throw(Pair& p) {
+  if (socketpair(AF_UNIX, SOCK_STREAM, 0, p.fds) != 0)
+    throw io_error(std::string("socketpair failed: ") +
+                   std::strerror(errno));
+}
+
+void close_quiet(int& fd) {
+  if (fd >= 0) ::close(fd);
+  fd = -1;
+}
+
+}  // namespace
+
+DistSpmv::DistSpmv(const Csr<double>& a, const DistOptions& opt)
+    : opt_(opt) {
+  BSPMV_CHECK_MSG(opt_.threads_per_rank >= 0 && opt_.threads_per_rank <= 64,
+                  "threads_per_rank out of range");
+  BSPMV_CHECK_MSG(opt_.timeout_seconds > 0.0, "timeout must be positive");
+  plan_ = plan_shards(a, opt_.ranks);  // validates the rank count
+  limits_.read_timeout_seconds = opt_.timeout_seconds;
+  spawn(a);
+}
+
+void DistSpmv::spawn(const Csr<double>& a) {
+  const int n = opt_.ranks;
+  std::vector<Pair> ctrl(static_cast<std::size_t>(n));
+  // data[i][j] for i < j: fds[0] is rank i's end, fds[1] rank j's.
+  std::vector<std::vector<Pair>> data(static_cast<std::size_t>(n));
+  for (auto& row : data) row.resize(static_cast<std::size_t>(n));
+
+  try {
+    for (int r = 0; r < n; ++r)
+      make_pair_or_throw(ctrl[static_cast<std::size_t>(r)]);
+    for (int i = 0; i < n; ++i)
+      for (int j = i + 1; j < n; ++j)
+        make_pair_or_throw(data[static_cast<std::size_t>(i)]
+                               [static_cast<std::size_t>(j)]);
+
+    for (int r = 0; r < n; ++r) {
+      const pid_t pid = fork();
+      if (pid < 0)
+        throw io_error(std::string("fork failed: ") + std::strerror(errno));
+      if (pid == 0) {
+        // Child: keep only this rank's fds, serve, and _exit — never
+        // return into the parent's stack/atexit/gtest machinery.
+        RankContext ctx;
+        ctx.rank = r;
+        ctx.limits = limits_;
+        ctx.peer_fds.assign(static_cast<std::size_t>(n), -1);
+        for (int q = 0; q < n; ++q) {
+          Pair& c = ctrl[static_cast<std::size_t>(q)];
+          if (q == r) {
+            ctx.ctrl_fd = c.fds[1];
+            close_quiet(c.fds[0]);
+          } else {
+            close_quiet(c.fds[0]);
+            close_quiet(c.fds[1]);
+          }
+        }
+        for (int i = 0; i < n; ++i)
+          for (int j = i + 1; j < n; ++j) {
+            Pair& d = data[static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(j)];
+            if (i == r) {
+              ctx.peer_fds[static_cast<std::size_t>(j)] = d.fds[0];
+              close_quiet(d.fds[1]);
+            } else if (j == r) {
+              ctx.peer_fds[static_cast<std::size_t>(i)] = d.fds[1];
+              close_quiet(d.fds[0]);
+            } else {
+              close_quiet(d.fds[0]);
+              close_quiet(d.fds[1]);
+            }
+          }
+        _exit(rank_main(ctx));
+      }
+      pids_.push_back(pid);
+    }
+  } catch (...) {
+    for (auto& c : ctrl) {
+      close_quiet(c.fds[0]);
+      close_quiet(c.fds[1]);
+    }
+    for (auto& row : data)
+      for (auto& d : row) {
+        close_quiet(d.fds[0]);
+        close_quiet(d.fds[1]);
+      }
+    shutdown();
+    throw;
+  }
+
+  // Parent: keep the driver ends, drop everything else.
+  for (int r = 0; r < n; ++r) {
+    ctrl_fds_.push_back(ctrl[static_cast<std::size_t>(r)].fds[0]);
+    close_quiet(ctrl[static_cast<std::size_t>(r)].fds[1]);
+  }
+  for (auto& row : data)
+    for (auto& d : row) {
+      close_quiet(d.fds[0]);
+      close_quiet(d.fds[1]);
+    }
+
+  // Ship the shards, then confirm every rank decoded its own. Children
+  // are already blocked in read_frame, so the sequential sends drain.
+  try {
+    BSPMV_OBS_SPAN("dist/shard");
+    const auto& row_ptr = a.row_ptr();
+    const auto& col_ind = a.col_ind();
+    const auto& val = a.val();
+    for (int r = 0; r < n; ++r) {
+      const RankShard& sh = plan_.shards[static_cast<std::size_t>(r)];
+      ShardMsg msg;
+      msg.rank = static_cast<std::uint32_t>(r);
+      msg.ranks = static_cast<std::uint32_t>(n);
+      msg.threads = static_cast<std::uint32_t>(opt_.threads_per_rank);
+      msg.row_begin = sh.row_begin;
+      msg.row_end = sh.row_end;
+      msg.x_begin = sh.x_begin;
+      msg.x_end = sh.x_end;
+      msg.cols = a.cols();
+      msg.halo_seg = sh.halo_seg;
+      msg.send_cols = sh.send_cols;
+      const index_t nz0 = row_ptr[sh.row_begin];
+      const index_t nz1 = row_ptr[sh.row_end];
+      msg.row_ptr.reserve(static_cast<std::size_t>(sh.rows()) + 1);
+      for (index_t i = sh.row_begin; i <= sh.row_end; ++i)
+        msg.row_ptr.push_back(row_ptr[i] - nz0);
+      msg.col_ind.assign(col_ind.begin() + nz0, col_ind.begin() + nz1);
+      msg.val.assign(val.begin() + nz0, val.begin() + nz1);
+      serve::write_frame(ctrl_fds_[static_cast<std::size_t>(r)],
+                         MsgType::kShard, msg.encode(), limits_);
+    }
+    for (int r = 0; r < n; ++r) {
+      MsgType type{};
+      std::string payload;
+      if (!serve::read_frame(ctrl_fds_[static_cast<std::size_t>(r)], type,
+                             payload, limits_))
+        throw io_error("rank " + std::to_string(r) +
+                       " exited while preparing its shard");
+      if (type == MsgType::kError) {
+        const auto rep = serve::ErrorReply::decode(payload);
+        serve::throw_wire_error(rep.code, "rank " + std::to_string(r) +
+                                              ": " + rep.message);
+      }
+      if (type != MsgType::kShardOk)
+        throw parse_error(std::string("expected shard_ok from rank, got ") +
+                          serve::msg_type_name(type));
+    }
+  } catch (...) {
+    shutdown();
+    throw;
+  }
+}
+
+void DistSpmv::run(const double* x, double* y, int iterations) {
+  BSPMV_CHECK_MSG(iterations >= 1, "iterations must be >= 1");
+  BSPMV_OBS_SPAN("dist/run");
+  Timer wall;
+
+  for (int r = 0; r < opt_.ranks; ++r) {
+    const RankShard& sh = plan_.shards[static_cast<std::size_t>(r)];
+    RunMsg msg;
+    msg.mode = opt_.mode;
+    msg.impl = opt_.impl == Impl::kSimd ? 1 : 0;
+    msg.iterations = static_cast<std::uint32_t>(iterations);
+    msg.x.assign(x + sh.x_begin, x + sh.x_end);
+    serve::write_frame(ctrl_fds_[static_cast<std::size_t>(r)],
+                       MsgType::kDistRun, msg.encode(), limits_);
+  }
+
+  stats_.assign(static_cast<std::size_t>(opt_.ranks), RankStats{});
+  std::uint64_t bytes = 0, msgs = 0;
+  for (int r = 0; r < opt_.ranks; ++r) {
+    const RankShard& sh = plan_.shards[static_cast<std::size_t>(r)];
+    MsgType type{};
+    std::string payload;
+    if (!serve::read_frame(ctrl_fds_[static_cast<std::size_t>(r)], type,
+                           payload, limits_))
+      throw io_error("rank " + std::to_string(r) +
+                     " exited mid-run (no dist_done frame)");
+    if (type == MsgType::kError) {
+      const auto rep = serve::ErrorReply::decode(payload);
+      serve::throw_wire_error(
+          rep.code, "rank " + std::to_string(r) + ": " + rep.message);
+    }
+    if (type != MsgType::kDistDone)
+      throw parse_error(std::string("expected dist_done from rank, got ") +
+                        serve::msg_type_name(type));
+    DoneMsg done = DoneMsg::decode(payload);
+    if (done.y.size() != static_cast<std::size_t>(sh.rows()))
+      throw parse_error("rank " + std::to_string(r) + " returned " +
+                        std::to_string(done.y.size()) + " y values for " +
+                        std::to_string(sh.rows()) + " rows");
+    std::copy(done.y.begin(), done.y.end(), y + sh.row_begin);
+    stats_[static_cast<std::size_t>(r)] = done.stats;
+    bytes += done.stats.bytes_sent;
+    msgs += done.stats.msgs_sent;
+
+    // Per-rank timeline record: the same thread_times channel the
+    // threaded drivers feed, keyed dist/<mode>, tid = rank. items =
+    // stored values processed over all iterations (the §V-A load view).
+    observe::CounterRegistry::instance().add_thread_time(
+        std::string("dist/") + dist_mode_name(opt_.mode), r,
+        done.stats.total_seconds,
+        sh.nnz * static_cast<std::uint64_t>(iterations));
+  }
+  BSPMV_OBS_COUNT("dist.runs", 1);
+  BSPMV_OBS_COUNT("dist.iterations",
+                  static_cast<std::uint64_t>(iterations));
+  BSPMV_OBS_COUNT("dist.halo_bytes", bytes);
+  BSPMV_OBS_COUNT("dist.halo_msgs", msgs);
+  observe::CounterRegistry::instance().add_span("dist/run_wall",
+                                                wall.elapsed());
+}
+
+void DistSpmv::kill_rank(int r) {
+  BSPMV_CHECK(r >= 0 && r < static_cast<int>(pids_.size()));
+  if (pids_[static_cast<std::size_t>(r)] > 0)
+    ::kill(pids_[static_cast<std::size_t>(r)], SIGKILL);
+}
+
+void DistSpmv::shutdown() noexcept {
+  serve::WireLimits quick = limits_;
+  quick.read_timeout_seconds = std::min(limits_.read_timeout_seconds, 5.0);
+  for (int& fd : ctrl_fds_) {
+    if (fd < 0) continue;
+    try {
+      serve::write_frame(fd, MsgType::kShutdown, "", quick);
+      MsgType type{};
+      std::string payload;
+      serve::read_frame(fd, type, payload, quick);
+    } catch (...) {
+      // A dead or wedged rank is handled by the reaper below.
+    }
+    close_quiet(fd);
+  }
+  ctrl_fds_.clear();
+
+  Timer t;
+  for (pid_t& pid : pids_) {
+    if (pid <= 0) continue;
+    for (;;) {
+      const pid_t got = ::waitpid(pid, nullptr, WNOHANG);
+      if (got == pid || (got < 0 && errno == ECHILD)) break;
+      if (t.elapsed() > 5.0) {
+        ::kill(pid, SIGKILL);
+        ::waitpid(pid, nullptr, 0);
+        break;
+      }
+      ::usleep(2000);
+    }
+    pid = -1;
+  }
+  pids_.clear();
+}
+
+DistSpmv::~DistSpmv() { shutdown(); }
+
+}  // namespace bspmv::dist

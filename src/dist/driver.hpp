@@ -1,0 +1,85 @@
+// DistSpmv — the multi-process distributed SpMV driver.
+//
+// Construction builds the nnz-balanced shard plan, wires a socketpair
+// mesh (one control channel per rank, one data channel per rank pair),
+// forks one rank process per shard and ships each its kShard message.
+// run() then scatters x, triggers `iterations` halo-exchange + SpMV
+// rounds inside the ranks (overlap or naive, switchable per run without
+// re-sharding), and gathers the y slices plus per-rank phase timings.
+//
+// Failure surfaces through the typed taxonomy: a rank that dies
+// mid-run is an io_error, a stalled one a timeout_error (wire read
+// timeout), and a rank-reported failure rethrows via throw_wire_error —
+// the same contract the serving client keeps. The destructor shuts the
+// ranks down gracefully, escalating to SIGKILL, and always reaps.
+#pragma once
+
+#include <sys/types.h>
+
+#include <vector>
+
+#include "src/core/models.hpp"
+#include "src/dist/messages.hpp"
+#include "src/dist/shard_plan.hpp"
+#include "src/formats/csr.hpp"
+#include "src/kernels/impl.hpp"
+#include "src/serve/protocol.hpp"
+
+namespace bspmv::dist {
+
+struct DistOptions {
+  int ranks = 2;
+  DistMode mode = DistMode::kOverlap;
+  /// TaskPool workers for each rank's local-columns pass (the existing
+  /// task-graph executor, constructed fresh inside the child). 0 runs
+  /// the local pass serially.
+  int threads_per_rank = 1;
+  Impl impl = Impl::kScalar;
+  /// Wire read timeout on every channel (driver and ranks).
+  double timeout_seconds = 30.0;
+};
+
+class DistSpmv {
+ public:
+  DistSpmv(const Csr<double>& a, const DistOptions& opt);
+  ~DistSpmv();
+  DistSpmv(const DistSpmv&) = delete;
+  DistSpmv& operator=(const DistSpmv&) = delete;
+
+  const ShardPlan& plan() const { return plan_; }
+  DistMode mode() const { return opt_.mode; }
+  /// Exchange strategy of subsequent run() calls; the shards are mode-
+  /// agnostic, so switching never re-forks or re-ships anything.
+  void set_mode(DistMode m) { opt_.mode = m; }
+
+  /// y = A·x, executed `iterations` times back to back inside the ranks
+  /// with a fresh halo exchange each round (the iterative-solver traffic
+  /// pattern the models assume); y holds the final iteration's result.
+  void run(const double* x, double* y, int iterations = 1);
+
+  /// Per-rank phase timings of the last run() (send/recv/wait/local/halo
+  /// seconds, bytes and frames) — the RunReport timeline source.
+  const std::vector<RankStats>& last_stats() const { return stats_; }
+
+  /// Model inputs for predict_distributed / choose_dist_mode.
+  std::vector<DistRankCost> rank_costs() const {
+    return plan_.rank_costs(sizeof(double));
+  }
+
+  /// Fault-injection hook (tests): SIGKILL rank `r`. The next run()
+  /// surfaces the death as a typed error.
+  void kill_rank(int r);
+
+ private:
+  void spawn(const Csr<double>& a);
+  void shutdown() noexcept;
+
+  DistOptions opt_;
+  ShardPlan plan_;
+  serve::WireLimits limits_;
+  std::vector<pid_t> pids_;
+  std::vector<int> ctrl_fds_;  ///< driver-side control channel ends
+  std::vector<RankStats> stats_;
+};
+
+}  // namespace bspmv::dist

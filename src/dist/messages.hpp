@@ -1,0 +1,103 @@
+// Typed payloads of the distributed rank protocol (MsgType kShard …
+// kHalo), encoded with the same bounds-checked WireWriter/WireReader
+// codec the serving daemon uses. Every decode() validates counts against
+// the payload size before allocating, so a torn or hostile frame
+// surfaces as bspmv::parse_error, never as an out-of-bounds read
+// (fuzzed in tests/test_dist.cpp with frame_corruptions).
+//
+// Message flow (docs/distribution.md):
+//
+//   driver -> rank : kShard    ShardMsg     once, after fork
+//   rank -> driver : kShardOk  (empty)      shard decoded, rank ready
+//   driver -> rank : kDistRun  RunMsg       per run() call
+//   rank <-> rank  : kHalo     HaloMsg      per iteration per peer
+//   rank -> driver : kDistDone DoneMsg      y slice + phase timings
+//   driver -> rank : kShutdown/kShutdownOk  graceful stop (reused)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/models.hpp"
+#include "src/formats/csr.hpp"
+
+namespace bspmv::dist {
+
+/// kShard: one rank's slice of the plan. The matrix rows travel as a
+/// plain CSR slice with *global* column ids; the rank rebuilds the
+/// local/halo column split itself (HaloDec::split), which keeps the
+/// message format independent of the split representation.
+struct ShardMsg {
+  std::uint32_t rank = 0;
+  std::uint32_t ranks = 0;
+  std::uint32_t threads = 1;  ///< TaskPool workers for the local pass
+  index_t row_begin = 0, row_end = 0;
+  index_t x_begin = 0, x_end = 0;
+  index_t cols = 0;                       ///< global matrix width
+  std::vector<index_t> halo_seg;          ///< ranks+1 halo segment offsets
+  std::vector<std::vector<index_t>> send_cols;  ///< per peer, owned-x offsets
+  std::vector<index_t> row_ptr;           ///< rows()+1, rebased to 0
+  std::vector<index_t> col_ind;           ///< global column ids
+  std::vector<double> val;
+
+  index_t rows() const { return row_end - row_begin; }
+
+  std::string encode() const;
+  static ShardMsg decode(std::string_view payload);
+};
+
+/// kDistRun: one multi-iteration y = A·x request.
+struct RunMsg {
+  DistMode mode = DistMode::kOverlap;
+  std::uint8_t impl = 0;  ///< 0 scalar, 1 simd
+  std::uint32_t iterations = 1;
+  std::vector<double> x;  ///< the rank's owned x slice
+
+  std::string encode() const;
+  static RunMsg decode(std::string_view payload);
+};
+
+/// Per-rank phase timings of one kDistRun, totalled over its iterations.
+/// send/recv seconds are summed across the per-peer exchange threads;
+/// wait_seconds is how long the main thread blocked on the exchange
+/// after its compute finished — the overlap claim is precisely that
+/// overlap mode shrinks wait (comm hidden under local compute) while
+/// naive mode pays it all up front.
+struct RankStats {
+  std::uint32_t iterations = 0;
+  double send_seconds = 0.0;
+  double recv_seconds = 0.0;
+  double wait_seconds = 0.0;
+  double local_seconds = 0.0;
+  double halo_seconds = 0.0;
+  double total_seconds = 0.0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_recv = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_recv = 0;
+};
+
+/// kDistDone: the rank's y slice plus its RankStats.
+struct DoneMsg {
+  std::vector<double> y;
+  RankStats stats;
+
+  std::string encode() const;
+  static DoneMsg decode(std::string_view payload);
+};
+
+/// kHalo: one iteration's halo x values from one peer. The (from, iter)
+/// header catches crossed wires (a frame from the wrong peer or a stale
+/// iteration is a typed parse_error, not silent corruption).
+struct HaloMsg {
+  std::uint32_t from = 0;
+  std::uint32_t iter = 0;
+  std::vector<double> x;
+
+  std::string encode() const;
+  static HaloMsg decode(std::string_view payload);
+};
+
+}  // namespace bspmv::dist

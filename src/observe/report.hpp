@@ -67,10 +67,54 @@ struct ThreadSample {
   std::uint64_t items = 0;  ///< stored values incl. padding, per §V-A weights
 };
 
+/// One rank's phase timeline from a distributed run (src/dist/): where
+/// its wall time went, per mode. The overlap story is read straight off
+/// these numbers — wait_seconds shrinks when comm hides under the
+/// local-columns pass.
+struct DistRankSample {
+  int rank = 0;
+  std::int64_t rows = 0;
+  std::uint64_t nnz = 0;
+  std::uint64_t halo_cols = 0;  ///< halo values received per iteration
+  double send_seconds = 0.0;
+  double recv_seconds = 0.0;
+  double wait_seconds = 0.0;   ///< exchange time not hidden by compute
+  double local_seconds = 0.0;
+  double halo_seconds = 0.0;
+  double total_seconds = 0.0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_recv = 0;
+};
+
+/// One exchange mode's predicted-vs-measured record.
+struct DistModeReport {
+  std::string mode;  ///< "naive" / "overlap"
+  double predicted_seconds = 0.0;  ///< predict_distributed, per iteration
+  double measured_seconds = 0.0;   ///< wall per iteration, worst-rank view
+  std::vector<DistRankSample> rank_samples;
+};
+
+/// The distributed section: both modes measured over the same shard
+/// plan, the t_comm-based model's choice, and whether it matched the
+/// measured winner (the distributed analogue of Table IV).
+struct DistReport {
+  bool enabled = false;
+  int ranks = 0;
+  int iterations = 0;
+  int threads_per_rank = 0;
+  double comm_alpha_seconds = 0.0;
+  double comm_beta_bps = 0.0;
+  std::string predicted_mode;  ///< choose_dist_mode over the shard plan
+  std::string measured_mode;   ///< faster measured mode
+  bool model_match = false;
+  std::vector<DistModeReport> modes;
+};
+
 struct RunReport {
   /// Bump on any change to the JSON layout; validate_report_json and
   /// from_json reject mismatches (same policy as MachineProfile).
-  static constexpr int kSchemaVersion = 1;
+  /// v2 added the distributed section ("dist").
+  static constexpr int kSchemaVersion = 2;
   static constexpr const char* kKind = "bspmv_run_report";
 
   // Matrix identity and structure.
@@ -100,6 +144,8 @@ struct RunReport {
   int threads = 0;  ///< thread count of the parallel timing step
   std::vector<ThreadSample> thread_samples;
 
+  DistReport dist;  ///< enabled only when ReportOptions::dist_ranks > 1
+
   std::map<std::string, SpanStat> phases;
   std::map<std::string, std::uint64_t> counters;
 
@@ -128,6 +174,14 @@ struct ReportOptions {
   /// task.queue_depth_max) and thread_samples come from the
   /// "tasks/<fmt>" metric instead of "parallel/<fmt>".
   ExecBackend backend = ExecBackend::kBulk;
+  /// Distributed section (double precision only): fork `dist_ranks`
+  /// processes, measure both exchange modes over the same shard plan and
+  /// score choose_dist_mode against the measured winner. 0/1 skips the
+  /// section. Profiles comm α/β on the fly (quick) when the machine
+  /// profile carries none.
+  int dist_ranks = 0;
+  int dist_iterations = 10;       ///< per measured mode
+  int dist_threads_per_rank = 1;  ///< local-pass TaskPool workers
 };
 
 /// Build the full report for one matrix: predict every model candidate

@@ -12,6 +12,7 @@
 #include "src/formats/ubcsr.hpp"
 #include "src/formats/vbl.hpp"
 #include "src/kernels/spmv.hpp"
+#include "src/profile/comm_bench.hpp"
 #include "src/profile/stream_bench.hpp"
 #include "src/util/macros.hpp"
 #include "src/util/prng.hpp"
@@ -220,6 +221,10 @@ MachineProfile profile_machine(const ProfileOptions& opt) {
       memory_latency_seconds(opt.quick ? (16u << 20) : (64u << 20));
   profile.effective_llc_bytes = static_cast<double>(cache.llc_bytes);
   profile.private_cache_bytes = static_cast<double>(cache.l2_bytes);
+  if (opt.verbose) std::fprintf(stderr, "profiling wire comm (alpha/beta)...\n");
+  const CommProfile comm = profile_comm(opt.quick);
+  profile.comm_alpha_seconds = comm.alpha_seconds;
+  profile.comm_beta_bps = comm.beta_bps;
   if (opt.verbose)
     std::fprintf(stderr, "BW=%.2f GiB/s read=%.2f GiB/s lat=%.0f ns\n",
                  profile.bandwidth_bps / (1u << 30),

@@ -1,0 +1,23 @@
+// Wire communication micro-benchmark: the α/β parameters of the
+// distributed model's t_comm(bytes, msgs) = α·msgs + bytes/β term.
+//
+// The measurement path is deliberately identical to the halo-exchange
+// data path — length-prefixed serve-protocol frames over an AF_UNIX
+// socketpair to a forked echo child — so α absorbs the real per-frame
+// cost (syscalls, header parse, scheduler wakeup) and β the streaming
+// copy bandwidth through the socket buffers, not idealized numbers.
+#pragma once
+
+namespace bspmv {
+
+struct CommProfile {
+  double alpha_seconds = 0.0;  ///< per-frame latency (half a small-frame RTT)
+  double beta_bps = 0.0;       ///< streaming wire bandwidth, bytes/second
+};
+
+/// Measure α via empty-frame ping-pong and β via large-frame echoes
+/// against a forked child. `quick` shrinks trial counts and frame sizes
+/// for tests; results stay the right order of magnitude.
+CommProfile profile_comm(bool quick = false);
+
+}  // namespace bspmv

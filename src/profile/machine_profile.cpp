@@ -58,6 +58,8 @@ Json MachineProfile::to_json() const {
   j["latency_seconds"] = latency_seconds;
   j["effective_llc_bytes"] = effective_llc_bytes;
   j["private_cache_bytes"] = private_cache_bytes;
+  j["comm_alpha_seconds"] = comm_alpha_seconds;
+  j["comm_beta_bps"] = comm_beta_bps;
   j["description"] = description;
   j["kernels_sp"] = kernels_to_json(kernels_sp_);
   j["kernels_dp"] = kernels_to_json(kernels_dp_);
@@ -82,6 +84,10 @@ MachineProfile MachineProfile::from_json(const Json& j) {
     p.effective_llc_bytes = j.at("effective_llc_bytes").as_number();
   if (j.contains("private_cache_bytes"))
     p.private_cache_bytes = j.at("private_cache_bytes").as_number();
+  if (j.contains("comm_alpha_seconds"))
+    p.comm_alpha_seconds = j.at("comm_alpha_seconds").as_number();
+  if (j.contains("comm_beta_bps"))
+    p.comm_beta_bps = j.at("comm_beta_bps").as_number();
   p.description = j.at("description").as_string();
   p.kernels_sp_ = kernels_from_json(j.at("kernels_sp"));
   p.kernels_dp_ = kernels_from_json(j.at("kernels_dp"));

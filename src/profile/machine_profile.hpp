@@ -40,6 +40,14 @@ class MachineProfile {
   /// Private cache size (L2) — the MEMLAT model's threshold for how much
   /// of the input vector enjoys cheap re-access.
   double private_cache_bytes = 1024.0 * 1024;
+  /// Inter-process wire parameters of t_comm = α·msgs + bytes/β, profiled
+  /// over the same socketpair frame path the distributed runtime uses
+  /// (profile_comm, src/profile/comm_bench.*). Zero β means "never
+  /// profiled" — t_comm refuses to guess, and profiles saved before the
+  /// distributed extension load fine with these defaults (the fields are
+  /// optional in the JSON, like effective_llc_bytes).
+  double comm_alpha_seconds = 0.0;  ///< per-frame latency α
+  double comm_beta_bps = 0.0;       ///< streaming wire bandwidth β
   std::string description;          ///< free-form provenance note
 
   /// Register / overwrite a kernel's profile.

@@ -43,6 +43,11 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kShutdown: return "shutdown";
     case MsgType::kShutdownOk: return "shutdown_ok";
     case MsgType::kError: return "error";
+    case MsgType::kShard: return "shard";
+    case MsgType::kShardOk: return "shard_ok";
+    case MsgType::kDistRun: return "dist_run";
+    case MsgType::kDistDone: return "dist_done";
+    case MsgType::kHalo: return "halo";
   }
   return "?";
 }
@@ -439,7 +444,7 @@ bool read_frame(int fd, MsgType& type, std::string& payload,
     throw parse_error(os.str());
   }
   if (raw_type < static_cast<std::uint32_t>(MsgType::kPing) ||
-      raw_type > static_cast<std::uint32_t>(MsgType::kError)) {
+      raw_type > static_cast<std::uint32_t>(MsgType::kHalo)) {
     std::ostringstream os;
     os << "unknown frame type " << raw_type;
     throw parse_error(os.str());

@@ -59,6 +59,14 @@ enum class MsgType : std::uint32_t {
   kShutdown = 9,
   kShutdownOk = 10,
   kError = 11,
+  // Distributed SpMV rank protocol (src/dist/, docs/distribution.md).
+  // Same frame grammar over socketpairs between the driver and its
+  // forked ranks (control) and between rank peers (halo data).
+  kShard = 12,     ///< driver -> rank: shard plan slice + submatrices
+  kShardOk = 13,   ///< rank -> driver: shard accepted, rank ready
+  kDistRun = 14,   ///< driver -> rank: mode/impl/iterations + x slice
+  kDistDone = 15,  ///< rank -> driver: y slice + per-phase timings
+  kHalo = 16,      ///< rank -> rank: one iteration's halo x values
 };
 
 const char* msg_type_name(MsgType t);

@@ -8,6 +8,7 @@
 #include <numeric>
 #include <vector>
 
+#include "src/dist/shard_plan.hpp"
 #include "src/kernels/spmv.hpp"
 #include "src/parallel/parallel_spmv.hpp"
 #include "src/parallel/partition.hpp"
@@ -191,6 +192,169 @@ TEST(PartitionEdges, TaskDecompositionSkipsEmptySlices) {
   const TaskGraphSpmv<Csr<double>> d(a, 4);
   EXPECT_LE(d.task_count(0), 5u);  // never more tasks than granules
   EXPECT_GE(d.task_count(0), 1u);
+}
+
+// ------------------------------- rank-level (shard plan) degenerates ----
+//
+// plan_shards reuses balanced_partition for its row cuts, so the same
+// pathological shapes must also produce structurally valid *distributed*
+// plans: monotone covering bounds, sorted disjoint halos, and send lists
+// that exactly mirror the peers' halo segments — even when most shards
+// are empty.
+
+/// The structural contract of a shard plan, whatever the input shape:
+/// bounds cover, nnz is conserved, halos are sorted / disjoint from the
+/// owned x range and segmented consistently with x_bounds, and every
+/// send list mirrors the destination's halo segment entry for entry.
+void expect_valid_plan(const dist::ShardPlan& plan, const Csr<double>& a) {
+  const int ranks = plan.ranks;
+  ASSERT_EQ(plan.shards.size(), static_cast<std::size_t>(ranks));
+  expect_valid_bounds(plan.row_bounds, ranks,
+                      static_cast<std::size_t>(a.rows()));
+  expect_valid_bounds(plan.x_bounds, ranks,
+                      static_cast<std::size_t>(a.cols()));
+  std::size_t nnz_sum = 0;
+  for (int r = 0; r < ranks; ++r) {
+    const dist::RankShard& sh = plan.shards[static_cast<std::size_t>(r)];
+    EXPECT_EQ(sh.row_begin, plan.row_bounds[static_cast<std::size_t>(r)]);
+    EXPECT_EQ(sh.row_end, plan.row_bounds[static_cast<std::size_t>(r) + 1]);
+    EXPECT_EQ(sh.nnz, sh.local_nnz + sh.halo_nnz);
+    nnz_sum += sh.nnz;
+    ASSERT_EQ(sh.halo_seg.size(), static_cast<std::size_t>(ranks) + 1);
+    EXPECT_EQ(sh.halo_seg.back(),
+              static_cast<index_t>(sh.halo_cols.size()));
+    for (std::size_t k = 0; k < sh.halo_cols.size(); ++k) {
+      const index_t c = sh.halo_cols[k];
+      EXPECT_TRUE(c < sh.x_begin || c >= sh.x_end)
+          << "halo col " << c << " inside owned x of rank " << r;
+      if (k) {
+        EXPECT_LT(sh.halo_cols[k - 1], c) << "halo not sorted, rank " << r;
+      }
+    }
+    // Mirror symmetry: what r expects from p is exactly what p ships to r.
+    ASSERT_EQ(sh.send_cols.size(), static_cast<std::size_t>(ranks));
+    for (int p = 0; p < ranks; ++p) {
+      const dist::RankShard& peer = plan.shards[static_cast<std::size_t>(p)];
+      const auto s0 =
+          static_cast<std::size_t>(peer.halo_seg[static_cast<std::size_t>(r)]);
+      const auto s1 = static_cast<std::size_t>(
+          peer.halo_seg[static_cast<std::size_t>(r) + 1]);
+      const std::vector<index_t>& send =
+          sh.send_cols[static_cast<std::size_t>(p)];
+      ASSERT_EQ(send.size(), s1 - s0)
+          << "send list " << r << "->" << p << " size mismatch";
+      for (std::size_t k = 0; k < send.size(); ++k)
+        EXPECT_EQ(send[k] + sh.x_begin, peer.halo_cols[s0 + k]);
+    }
+  }
+  EXPECT_EQ(nnz_sum, a.nnz());
+}
+
+TEST(PartitionEdges, ShardPlanMoreRanksThanRows) {
+  // 3 rows over 8 ranks on a 3x12 rectangle: at least 5 shards own no
+  // rows, yet each still owns an x-column slice — so a row-empty shard
+  // reads no halo but may still have to *send* owned x to the shards
+  // whose rows reference its columns.
+  Coo<double> coo(3, 12);
+  coo.add(0, 11, 1.0);
+  coo.add(1, 0, 2.0);
+  coo.add(2, 6, 3.0);
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  const auto plan = dist::plan_shards(a, 8);
+  expect_valid_plan(plan, a);
+  int with_rows = 0;
+  std::size_t sent_by_row_empty = 0;
+  for (const auto& sh : plan.shards) {
+    with_rows += sh.rows() > 0 ? 1 : 0;
+    if (sh.rows() == 0) {
+      EXPECT_EQ(sh.nnz, 0u);
+      EXPECT_EQ(sh.halo_count(), 0u) << "no rows, nothing to read";
+      sent_by_row_empty += sh.send_count();
+    }
+    if (sh.x_end == sh.x_begin) {
+      EXPECT_EQ(sh.send_count(), 0u) << "no owned x, nothing to ship";
+    }
+  }
+  EXPECT_LE(with_rows, 3);
+  EXPECT_GT(sent_by_row_empty, 0u)
+      << "row 1 reads col 0, owned by a shard with no rows";
+}
+
+TEST(PartitionEdges, ShardPlanZeroNnzShards) {
+  // All the weight in the first and last row: the nnz balancer collapses
+  // the weightless middle rows into a neighbour, leaving some shards
+  // with empty row (and, square matrix, empty x) ranges. Those must
+  // carry zero traffic, while the two dense boundary rows — landing in
+  // different shards — must exchange each other's owned x.
+  Coo<double> coo(64, 64);
+  for (index_t j = 0; j < 64; ++j) {
+    coo.add(0, j, 1.0);
+    coo.add(63, j, 2.0);
+  }
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  const auto plan = dist::plan_shards(a, 4);
+  expect_valid_plan(plan, a);
+  int empty = 0;
+  for (const auto& sh : plan.shards) {
+    if (sh.nnz == 0) {
+      ++empty;
+      EXPECT_EQ(sh.halo_count(), 0u) << "nnz-free shard reads no halo";
+      EXPECT_EQ(sh.send_count(), 0u) << "owns no x anyone reads";
+    } else {
+      EXPECT_GT(sh.halo_count(), 0u) << "dense row spans the full x";
+      EXPECT_GT(sh.send_count(), 0u) << "the other dense row reads back";
+    }
+  }
+  EXPECT_GE(empty, 1) << "192 nnz in 2 rows cannot fill 4 shards";
+}
+
+TEST(PartitionEdges, ShardPlanSingleRowMatrix) {
+  // One row, every rank but its owner empty; the full x range belongs
+  // to the owner of the cuts, so halos depend only on the x bounds.
+  Coo<double> coo(1, 20);
+  for (index_t j = 0; j < 20; j += 3) coo.add(0, j, 1.0 + j);
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  for (int ranks : {1, 2, 5}) {
+    const auto plan = dist::plan_shards(a, ranks);
+    expect_valid_plan(plan, a);
+    std::size_t nnz = 0;
+    for (const auto& sh : plan.shards) nnz += sh.nnz;
+    EXPECT_EQ(nnz, a.nnz());
+  }
+}
+
+TEST(PartitionEdges, ShardPlanEmptyHaloOnBlockDiagonal) {
+  // Block-diagonal with blocks aligned to the shard cuts: every column
+  // a shard touches is owned, so all halo sets and send lists are empty
+  // and the plan's model costs carry zero wire traffic.
+  Coo<double> coo(40, 40);
+  for (index_t b = 0; b < 4; ++b)
+    for (index_t i = 0; i < 10; ++i)
+      for (index_t j = 0; j < 10; ++j)
+        coo.add(b * 10 + i, b * 10 + j, 1.0);
+  const Csr<double> a = Csr<double>::from_coo(coo);
+  const auto plan = dist::plan_shards(a, 4);
+  expect_valid_plan(plan, a);
+  for (const auto& sh : plan.shards) {
+    EXPECT_EQ(sh.halo_count(), 0u);
+    EXPECT_EQ(sh.send_count(), 0u);
+    EXPECT_EQ(sh.peer_count(), 0);
+    EXPECT_EQ(sh.halo_nnz, 0u);
+  }
+  for (const auto& c : plan.rank_costs(sizeof(double))) {
+    EXPECT_EQ(c.bytes_sent + c.bytes_recv, 0u);
+    EXPECT_EQ(c.msgs_sent + c.msgs_recv, 0);
+  }
+}
+
+TEST(PartitionEdges, ShardPlanEmptyMatrix) {
+  const Csr<double> a = Csr<double>::from_coo(Coo<double>(0, 0));
+  const auto plan = dist::plan_shards(a, 3);
+  expect_valid_plan(plan, a);
+  for (const auto& sh : plan.shards) {
+    EXPECT_EQ(sh.rows(), 0);
+    EXPECT_EQ(sh.nnz, 0u);
+  }
 }
 
 TEST(PartitionEdges, BalanceQualityOnUniformWeights) {
