@@ -87,10 +87,14 @@ bool load_matrix(const CliParser& cli, std::size_t pos_index, Csr<double>& a,
 /// per-rank send/recv/wait/local/halo timeline, and score the t_comm
 /// model's overlap-vs-naive choice against the measured winner.
 int run_dist(const CliParser& cli, const Csr<double>& a,
-             const MachineProfile& base_profile, int ranks) {
+             const MachineProfile& base_profile, int ranks,
+             RunControl* control) {
   const DistMode mode = parse_dist_mode(cli.get("dist-mode"));
   const int iterations =
       std::max(1, static_cast<int>(cli.get_int("iterations")));
+  const double dist_timeout = cli.get_double("dist-timeout");
+  if (dist_timeout <= 0.0)
+    throw invalid_argument_error("--dist-timeout must be positive seconds");
 
   MachineProfile profile = base_profile;
   if (profile.comm_beta_bps <= 0.0) {
@@ -109,7 +113,50 @@ int run_dist(const CliParser& cli, const Csr<double>& a,
   dopt.ranks = ranks;
   dopt.mode = mode;
   dopt.threads_per_rank = static_cast<int>(cli.get_int("dist-threads"));
+  dopt.timeout_seconds = dist_timeout;
+  // Supervision is ON by default here (the library default stays off):
+  // the tool survives a lost rank, degrades if it must, and always says
+  // so. --dist-no-recover restores the fail-fast typed-exit contract.
+  dopt.supervise.enabled = !cli.get_flag("dist-no-recover");
+  dopt.supervise.max_respawns =
+      static_cast<int>(cli.get_int("dist-max-respawns"));
+  dopt.supervise.checkpoint_path = cli.get("dist-checkpoint");
+  const double mtbf = cli.get_double("dist-mtbf");
+  if (mtbf > 0.0) {
+    // Young/Daly cadence from the model stack: predicted per-iteration
+    // time x per-checkpoint cost x assumed MTBF.
+    const double t_iter =
+        predict_distributed(profile, dist::plan_shards(a, ranks)
+                                         .rank_costs(sizeof(double)),
+                            mode);
+    const double ckpt = dist_checkpoint_seconds(
+        profile, static_cast<std::size_t>(a.cols()) * sizeof(double));
+    dopt.supervise.checkpoint_interval =
+        dist_checkpoint_interval(t_iter, ckpt, mtbf);
+    std::printf("checkpoint interval (Young, mtbf %.1fs, ckpt %.2fms): "
+                "every %d iteration(s)\n",
+                mtbf, ckpt * 1e3, dopt.supervise.checkpoint_interval);
+  }
   dist::DistSpmv d(a, dopt);
+  d.set_control(control);
+
+  // Chaos drill: arm faults (alternating kills and stalls on the
+  // non-zero ranks) that fire during the timed run; the recovery
+  // timeline below is the receipt. Drives the dist soak harness.
+  const int chaos = static_cast<int>(cli.get_int("dist-chaos"));
+  if (chaos > 0 && dopt.supervise.enabled && ranks > 1) {
+    for (int k = 0; k < chaos; ++k) {
+      dist::FaultMsg f;
+      f.kind = k % 2 == 0 ? dist::FaultKind::kExitAtIteration
+                          : dist::FaultKind::kStallAtIteration;
+      f.at_iteration =
+          static_cast<std::uint32_t>(std::min(k + 1, iterations - 1));
+      f.seconds = 3.0 * dist_timeout;  // past the stall-kill grace
+      d.inject_fault(1 + k % (ranks - 1), f);
+    }
+    std::printf("chaos: armed %d fault(s) across ranks 1..%d\n", chaos,
+                ranks - 1);
+  }
 
   std::printf("shard plan (nnz-balanced rows):\n");
   for (int r = 0; r < ranks; ++r) {
@@ -126,10 +173,29 @@ int run_dist(const CliParser& cli, const Csr<double>& a,
     x[i] = 0.5 + 0.001 * static_cast<double>(i % 1000);
   aligned_vector<double> y(static_cast<std::size_t>(a.rows()), 0.0);
 
-  d.run(x.data(), y.data(), 1);  // warm-up
+  if (chaos == 0) d.run(x.data(), y.data(), 1);  // warm-up
   Timer t;
   d.run(x.data(), y.data(), iterations);
   const double measured = t.elapsed() / iterations;
+
+  // The supervision outcome is part of the result: a degraded run is
+  // still correct, but never silently so.
+  if (dopt.supervise.enabled && d.outcome() != dist::DistOutcome::kClean) {
+    std::printf("recovery: outcome %s, %zu event(s), %d rank(s) left\n",
+                dist::dist_outcome_name(d.outcome()),
+                d.recovery_log().size(), d.ranks());
+    for (const dist::RecoveryEvent& e : d.recovery_log()) {
+      std::string who;
+      for (int r : e.failed_ranks) who += " " + std::to_string(r);
+      if (who.empty()) who = " -";
+      std::printf("  epoch %u @ iter %d: %s on rank(s)%s -> %s "
+                  "(%.1f ms, backoff %.0f ms)%s%s\n",
+                  e.epoch, e.completed_iterations, e.cause.c_str(),
+                  who.c_str(), e.action.c_str(), e.seconds * 1e3,
+                  e.backoff_ms, e.detail.empty() ? "" : " | ",
+                  e.detail.c_str());
+    }
+  }
 
   // Parity check against the serial CSR kernel (the column split only
   // reorders within-row sums).
@@ -148,7 +214,7 @@ int run_dist(const CliParser& cli, const Csr<double>& a,
   std::printf("per-rank timeline (ms over %d iterations):\n", iterations);
   std::printf("  %-5s %9s %9s %9s %9s %9s %9s\n", "rank", "send", "recv",
               "wait", "local", "halo", "total");
-  for (int r = 0; r < ranks; ++r) {
+  for (int r = 0; r < static_cast<int>(d.last_stats().size()); ++r) {
     const dist::RankStats& s = d.last_stats()[static_cast<std::size_t>(r)];
     std::printf("  %-5d %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f\n", r,
                 s.send_seconds * 1e3, s.recv_seconds * 1e3,
@@ -238,6 +304,11 @@ int run_report(const CliParser& cli) {
   // over one shard plan, per-rank timelines, model-vs-winner scoring).
   ropt.dist_ranks = static_cast<int>(cli.get_int("ranks"));
   ropt.dist_threads_per_rank = static_cast<int>(cli.get_int("dist-threads"));
+  ropt.dist_supervise = !cli.get_flag("dist-no-recover");
+  ropt.dist_chaos = static_cast<int>(cli.get_int("dist-chaos"));
+  ropt.dist_timeout_seconds = cli.get_double("dist-timeout");
+  if (ropt.dist_timeout_seconds <= 0.0)
+    throw invalid_argument_error("--dist-timeout must be positive seconds");
   (void)parse_dist_mode(cli.get("dist-mode"));
 
   const observe::RunReport report =
@@ -300,6 +371,24 @@ int run(int argc, char** argv) {
                  "under the local pass) or naive (exchange then compute)");
   cli.add_option("dist-threads", "1",
                  "TaskPool workers per rank's local pass (0 = serial)");
+  cli.add_option("dist-timeout", "30",
+                 "wire read timeout in seconds on every dist channel; a "
+                 "--deadline-ms budget additionally bounds each wait");
+  cli.add_option("dist-checkpoint", "",
+                 "supervised runs: write an iteration checkpoint here "
+                 "(CRC-trailed atomic file) and resume from it");
+  cli.add_option("dist-mtbf", "0",
+                 "assumed seconds between rank failures; > 0 picks the "
+                 "checkpoint interval by Young's formula");
+  cli.add_option("dist-max-respawns", "2",
+                 "consecutive failed recoveries before degrading "
+                 "(reshard, then single-node)");
+  cli.add_option("dist-chaos", "0",
+                 "supervised runs: inject this many rank kills/stalls "
+                 "during the timed run (soak/drill; recovery is printed)");
+  cli.add_flag("dist-no-recover",
+               "disable rank supervision: a lost rank exits with the "
+               "typed error code instead of recovering");
   cli.add_flag("check-numerics",
                "scan vectors for NaN/Inf and verify output fingerprints");
   cli.add_flag("measure", "also measure the top candidates' real time");
@@ -370,7 +459,7 @@ int run(int argc, char** argv) {
   const MachineProfile profile = load_or_profile(cli.get("profile"), popt);
 
   if (const int ranks = static_cast<int>(cli.get_int("ranks")); ranks != 0)
-    return run_dist(cli, a, profile, ranks);
+    return run_dist(cli, a, profile, ranks, control);
 
   if (rhs > 1)
     std::printf("\nmodel selections (k-aware, %d rhs, %s):\n", rhs,

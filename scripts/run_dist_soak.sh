@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Chaos soak for the supervised distributed driver: loop mtx_tool
+# --ranks N runs (ideally an ASan build) with escalating injected
+# faults — kills mid-iteration, stalls, kills with an exchange posted —
+# and require every run to recover, pass the built-in serial-CSR parity
+# check, and keep the driver's RSS bounded. The forked ranks fork from
+# a single-threaded driver, so (unlike TSan) ASan survives the children.
+#
+# Pass criteria, every iteration:
+#   - mtx_tool exits 0 (recovery worked, parity check passed)
+#   - the report shows a non-clean outcome when faults were armed
+#     (recovery is never silent)
+#   - peak driver RSS stays under $RSS_LIMIT_MB
+#
+# Usage: scripts/run_dist_soak.sh [duration-seconds] (default 60)
+# Env:   BUILD_DIR     build tree to use  (default repo/build)
+#        RSS_LIMIT_MB  peak RSS bound     (default 4096)
+#        RANKS         mesh width         (default 4)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+duration="${1:-60}"
+rss_limit_mb="${RSS_LIMIT_MB:-4096}"
+ranks="${RANKS:-4}"
+
+tool="$build_dir/examples/mtx_tool"
+[ -x "$tool" ] || {
+  echo "dist-soak: build mtx_tool first (cmake --build $build_dir --target mtx_tool)" >&2
+  exit 1
+}
+
+work="$(mktemp -d /tmp/bspmv_dist_soak.XXXXXX)"
+trap 'rm -rf "$work"' EXIT
+
+deadline=$(( $(date +%s) + duration ))
+runs=0
+recoveries=0
+peak_rss_kb=0
+
+echo "== dist-soak: ${duration}s of chaos, ${ranks} ranks =="
+while [ "$(date +%s)" -lt "$deadline" ]; do
+  # Escalate: 1..4 armed faults (alternating kill/stall across ranks),
+  # both exchange modes, varying iteration counts.
+  chaos=$(( runs % 4 + 1 ))
+  mode=$([ $(( runs % 2 )) -eq 0 ] && echo overlap || echo naive)
+  iters=$(( 4 + runs % 5 ))
+  log="$work/run.log"
+
+  "$tool" --suite 2 --scale tiny --ranks "$ranks" \
+      --dist-mode "$mode" --dist-timeout 2 --dist-chaos "$chaos" \
+      --iterations "$iters" >"$log" 2>&1 &
+  pid=$!
+  while kill -0 "$pid" 2>/dev/null; do
+    rss=$(awk '/VmRSS/{print $2}' "/proc/$pid/status" 2>/dev/null || echo 0)
+    [ "${rss:-0}" -gt "$peak_rss_kb" ] && peak_rss_kb=$rss
+    sleep 0.1
+  done
+  if ! wait "$pid"; then
+    echo "dist-soak: FAIL — run $runs (chaos=$chaos mode=$mode) exited non-zero"
+    tail -n 40 "$log"
+    exit 1
+  fi
+  grep -q "verified against serial CSR" "$log" || {
+    echo "dist-soak: FAIL — run $runs skipped the parity check"
+    tail -n 40 "$log"; exit 1; }
+  # Faults were armed, so a silent "clean" outcome means the drill
+  # never fired or the supervisor hid the intervention.
+  grep -Eq "outcome (recovered|resharded|single_node)" "$log" || {
+    echo "dist-soak: FAIL — run $runs armed $chaos fault(s) but reported no recovery"
+    tail -n 40 "$log"; exit 1; }
+
+  recoveries=$(( recoveries + $(grep -c "epoch .*: rank_" "$log" || true) ))
+  runs=$(( runs + 1 ))
+done
+
+peak_mb=$(( peak_rss_kb / 1024 ))
+echo "== dist-soak: $runs runs, $recoveries recovery events, peak RSS ${peak_mb} MiB (limit ${rss_limit_mb}) =="
+[ "$runs" -gt 0 ] || { echo "dist-soak: FAIL — no run completed"; exit 1; }
+[ "$recoveries" -gt 0 ] || {
+  echo "dist-soak: FAIL — chaos never produced a recovery event"; exit 1; }
+[ "$peak_mb" -le "$rss_limit_mb" ] || {
+  echo "dist-soak: FAIL — RSS exceeded the bound"; exit 1; }
+
+echo "== dist-soak: PASS =="

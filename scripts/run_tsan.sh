@@ -15,7 +15,14 @@
 #     first-error propagation, and peer-EOF typed errors. The
 #     fork-based DistSpmv cases stay out (TSan's runtime does not
 #     survive multi-threaded fork() children), and the HaloDecFormat
-#     parity cases stay out because they drive the OpenMP ThreadedSpmv.
+#     parity cases stay out because they drive the OpenMP ThreadedSpmv;
+#   - test_dist_recovery, fork-free supervisor paths only: the
+#     epoch-consistency rejection across two in-process exchange
+#     endpoints (DistCommEpoch — a real two-thread wire race), plus the
+#     single-threaded checkpoint codec/file cases and the recovery cost
+#     models. The respawn/reshard/single-node ladder itself forks and is
+#     covered by the functional suite and the ASan dist chaos soak
+#     (scripts/run_dist_soak.sh) instead.
 #
 # Scope: only those binaries, and only their OpenMP-free cases;
 # TSan has well-known false positives with libgomp's barrier/team
@@ -35,11 +42,11 @@ cmake -B "$build_dir" -S "$repo_root" \
   -DBSPMV_BUILD_BENCH=OFF \
   -DBSPMV_BUILD_EXAMPLES=OFF
 cmake --build "$build_dir" -j "$(nproc)" \
-  --target test_run_control test_task_graph test_dist
+  --target test_run_control test_task_graph test_dist test_dist_recovery
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
 ctest --test-dir "$build_dir" --output-on-failure --timeout 300 \
   -j "$(nproc)" \
-  -R '^(RunControl|Watchdog|AtomicFile|RobustSamples|Numerics|Backend|WorkQueue|Topology|TaskPool|TaskStress|TaskGraph|Threads/TaskGraphParity|DistComm)\.' \
+  -R '^(RunControl|Watchdog|AtomicFile|RobustSamples|Numerics|Backend|WorkQueue|Topology|TaskPool|TaskStress|TaskGraph|Threads/TaskGraphParity|DistComm|DistCommEpoch|DistCheckpointFile|RecoveryModel)\.' \
   "$@"

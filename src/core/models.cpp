@@ -1,6 +1,7 @@
 #include "src/core/models.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <thread>
 
 #include "src/parallel/partition.hpp"
@@ -387,6 +388,71 @@ DistMode choose_dist_mode(const MachineProfile& profile,
   // by physically real terms (hidden α·msgs vs the unhidden copy), so
   // the sign of a small predicted gap is informative, not jitter.
   return overlap < naive ? DistMode::kOverlap : DistMode::kNaive;
+}
+
+namespace {
+/// Fixed latencies of the recovery machinery, measured once on the dev
+/// box and deliberately coarse: they only matter relative to MTBF and
+/// t_iter, which differ from them by orders of magnitude.
+constexpr double kFsyncSeconds = 2e-3;   ///< atomic_write_file fsync+rename
+constexpr double kSpawnSeconds = 5e-3;   ///< fork + shard decode + split
+}  // namespace
+
+double dist_checkpoint_seconds(const MachineProfile& profile,
+                               std::size_t x_bytes) {
+  if (profile.bandwidth_bps <= 0.0)
+    throw invalid_argument_error(
+        "checkpoint model needs a profiled stream bandwidth");
+  // Serialize, CRC, and write-through: ~3 passes over the payload.
+  return kFsyncSeconds +
+         3.0 * static_cast<double>(x_bytes) / profile.bandwidth_bps;
+}
+
+double dist_restart_seconds(const MachineProfile& profile,
+                            std::size_t shard_bytes, int peers) {
+  if (peers < 0) peers = 0;
+  return kSpawnSeconds + t_comm(profile, shard_bytes, 1) +
+         t_comm(profile, 0, 2 * peers);
+}
+
+int dist_checkpoint_interval(double t_iter_seconds, double ckpt_seconds,
+                             double mtbf_seconds) {
+  if (t_iter_seconds <= 0.0 || ckpt_seconds <= 0.0 || mtbf_seconds <= 0.0)
+    return 0;
+  // Young's first-order optimum: checkpoint every sqrt(2·C·M) seconds.
+  const double t_opt = std::sqrt(2.0 * ckpt_seconds * mtbf_seconds);
+  const int iters = static_cast<int>(std::lround(t_opt / t_iter_seconds));
+  return std::max(1, iters);
+}
+
+double dist_recovery_overhead(double t_iter_seconds, double ckpt_seconds,
+                              double restart_seconds, double mtbf_seconds,
+                              int interval) {
+  if (t_iter_seconds <= 0.0 || interval < 1) return 0.0;
+  // Checkpoint tax, amortised over the round.
+  double overhead = ckpt_seconds / (interval * t_iter_seconds);
+  if (mtbf_seconds > 0.0) {
+    // Failures arrive at rate 1/MTBF; each costs the restart plus, on
+    // average, half a round of redone iterations.
+    const double failure_rate = t_iter_seconds / mtbf_seconds;
+    overhead += failure_rate *
+                (interval * t_iter_seconds / 2.0 + restart_seconds) /
+                t_iter_seconds;
+  }
+  return overhead;
+}
+
+bool dist_degradation_beats_retry(double t_dist_iter_seconds,
+                                  double t_single_iter_seconds,
+                                  double restart_seconds,
+                                  double mtbf_seconds, int remaining) {
+  if (remaining <= 0) return false;
+  if (mtbf_seconds <= 0.0) return true;  // failures never stop coming
+  const double t_single = remaining * t_single_iter_seconds;
+  const double compute = remaining * t_dist_iter_seconds;
+  const double expected_failures = compute / mtbf_seconds;
+  const double t_dist = compute + expected_failures * restart_seconds;
+  return t_single < t_dist;
 }
 
 template IrregularityStats irregularity_stats(const Csr<float>&);

@@ -194,6 +194,62 @@ DistMode choose_dist_mode(const MachineProfile& profile,
                           std::span<const DistRankCost> ranks,
                           int cores = 0);
 
+// ----------------------------------------------------------------------
+// Recovery extension: expected cost of surviving rank failure
+// ----------------------------------------------------------------------
+//
+// The supervised distributed driver (docs/distribution.md "Failure modes
+// and recovery") checkpoints the x-vector every `interval` iterations
+// and, on a rank failure, respawns the rank, re-ships its shard and
+// retries from the last round boundary. These models price that
+// machinery so the checkpoint cadence is a Young/Daly choice rather
+// than a guess, and so "keep retrying" vs "degrade to single-node" is a
+// decidable comparison instead of a hard-coded K.
+
+/// Seconds to write one checkpoint: an fsync'd atomic-rename file of
+/// `x_bytes` (the x snapshot plus its CRC trailer), costed as a fixed
+/// fsync latency plus ~3 memory/disk passes over the payload at the
+/// profiled stream bandwidth. Throws invalid_argument_error when the
+/// profile carries no bandwidth.
+double dist_checkpoint_seconds(const MachineProfile& profile,
+                               std::size_t x_bytes);
+
+/// Seconds to bring a dead rank back: fork/exec-free respawn (a fixed
+/// spawn latency), the shard re-ship (one t_comm transfer of
+/// `shard_bytes`), and the survivor rewiring handshake (two zero-byte
+/// control round-trips per surviving peer).
+double dist_restart_seconds(const MachineProfile& profile,
+                            std::size_t shard_bytes, int peers);
+
+/// Young's optimal checkpoint interval, in iterations: round(
+/// sqrt(2 · C · MTBF) / t_iter ), clamped to >= 1. `t_iter` is the
+/// predicted per-iteration time (predict_distributed), `ckpt_seconds`
+/// the per-checkpoint cost, `mtbf_seconds` the assumed mean time
+/// between rank failures. Returns 0 when any input is non-positive —
+/// "no model choice"; the caller keeps its default cadence.
+int dist_checkpoint_interval(double t_iter_seconds, double ckpt_seconds,
+                             double mtbf_seconds);
+
+/// Expected fractional overhead (>= 0) the recovery machinery adds to a
+/// run at the given cadence: checkpoint cost amortised per iteration
+/// plus the failure-rate-weighted cost of the rework (half a round on
+/// average) and the restart itself, normalised by t_iter. Lets callers
+/// compare cadences or report the modelled recovery tax.
+double dist_recovery_overhead(double t_iter_seconds, double ckpt_seconds,
+                              double restart_seconds, double mtbf_seconds,
+                              int interval);
+
+/// The degradation decision: true when finishing the remaining
+/// iterations on a single node is expected to beat continuing the
+/// failure-prone distributed run. The distributed side pays an expected
+/// (remaining·t_dist/MTBF) restarts of `restart_seconds` each on top of
+/// the compute; mtbf <= 0 means "failures keep happening" and always
+/// degrades.
+bool dist_degradation_beats_retry(double t_dist_iter_seconds,
+                                  double t_single_iter_seconds,
+                                  double restart_seconds,
+                                  double mtbf_seconds, int remaining);
+
 #define BSPMV_DECL(V) \
   extern template IrregularityStats irregularity_stats(const Csr<V>&);
 BSPMV_DECL(float)

@@ -1,0 +1,59 @@
+#include "src/dist/checkpoint.hpp"
+
+#include "src/serve/protocol.hpp"
+#include "src/util/atomic_file.hpp"
+#include "src/util/errors.hpp"
+
+namespace bspmv::dist {
+
+namespace {
+
+constexpr std::uint32_t kCkptMagic = 0x42435031u;  // "1PCB" little-endian
+
+}  // namespace
+
+std::string DistCheckpoint::encode() const {
+  serve::WireWriter w;
+  w.u32(kCkptMagic);
+  w.u32(completed);
+  w.u32(total);
+  w.u64(x_fingerprint);
+  w.u64(x.size());
+  w.f64_array(x.data(), x.size());
+  return w.take();
+}
+
+DistCheckpoint DistCheckpoint::decode(std::string_view payload) {
+  serve::WireReader r(payload);
+  if (r.u32() != kCkptMagic)
+    throw parse_error("dist checkpoint has a bad magic number");
+  DistCheckpoint ck;
+  ck.completed = r.u32();
+  ck.total = r.u32();
+  ck.x_fingerprint = r.u64();
+  const std::uint64_t n = r.u64();
+  if (n > payload.size() / 8)
+    throw parse_error("dist checkpoint declares more x values than it holds");
+  ck.x = r.f64_array(static_cast<std::size_t>(n));
+  r.expect_end();
+  if (ck.completed > ck.total)
+    throw parse_error("dist checkpoint counts more iterations than the run");
+  return ck;
+}
+
+void save_checkpoint(const std::string& path, const DistCheckpoint& ck) {
+  atomic_write_file(path, ck.encode(), /*with_checksum=*/true);
+}
+
+std::optional<DistCheckpoint> load_checkpoint(
+    const std::string& path) noexcept {
+  try {
+    const auto payload = read_file_if_exists(path);
+    if (!payload) return std::nullopt;
+    return DistCheckpoint::decode(*payload);
+  } catch (...) {
+    return std::nullopt;  // torn/corrupt: restart from iteration zero
+  }
+}
+
+}  // namespace bspmv::dist

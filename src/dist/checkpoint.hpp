@@ -1,0 +1,47 @@
+// Lightweight iteration checkpoints for the supervised distributed run.
+//
+// The distributed iteration is an idempotent recompute — every round
+// rebuilds y = A·x from the constant input vector — so the only state a
+// resume needs is *how many iterations already counted* and proof that
+// the input is the same problem. A checkpoint therefore holds the
+// completed-iteration counter plus the x vector (with its bit-exact
+// fingerprint), written through the crash-safe atomic_write_file CRC
+// path every N iterations. Torn, corrupt, or mismatched files are
+// rejected (load returns nullopt) and the run simply starts from
+// iteration zero — the warn-and-regenerate contract every cache in this
+// codebase keeps.
+//
+// The checkpoint interval is a Young/Daly choice surfaced by the models
+// (dist_checkpoint_interval in src/core/models.*); docs/distribution.md
+// has the derivation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bspmv::dist {
+
+struct DistCheckpoint {
+  std::uint32_t completed = 0;      ///< iterations finished and counted
+  std::uint32_t total = 0;          ///< iterations the run asked for
+  std::uint64_t x_fingerprint = 0;  ///< bits_fingerprint of the x vector
+  std::vector<double> x;
+
+  std::string encode() const;
+  /// Throws bspmv::parse_error on a malformed payload.
+  static DistCheckpoint decode(std::string_view payload);
+};
+
+/// Atomically persist `ck` at `path` with a CRC trailer. Throws
+/// bspmv::io_error on filesystem failure.
+void save_checkpoint(const std::string& path, const DistCheckpoint& ck);
+
+/// Load a checkpoint; nullopt when the file is absent, torn, corrupt, or
+/// structurally invalid (never throws — a bad checkpoint only costs the
+/// restart position, not the run).
+std::optional<DistCheckpoint> load_checkpoint(const std::string& path) noexcept;
+
+}  // namespace bspmv::dist

@@ -52,16 +52,16 @@ HaloExchange::~HaloExchange() {
 }
 
 void HaloExchange::start(const double* x_owned, double* halo_x,
-                         std::uint32_t iter) {
+                         std::uint32_t iter, std::uint32_t epoch) {
   BSPMV_CHECK_MSG(!in_flight_, "halo exchange already in flight");
   in_flight_ = true;
   first_error_ = nullptr;
   threads_.clear();
   threads_.reserve(peers_.size());
   for (std::size_t s = 0; s < peers_.size(); ++s)
-    threads_.emplace_back([this, s, x_owned, halo_x, iter] {
+    threads_.emplace_back([this, s, x_owned, halo_x, iter, epoch] {
       try {
-        exchange_with(s, peers_[s], x_owned, halo_x, iter);
+        exchange_with(s, peers_[s], x_owned, halo_x, iter, epoch);
       } catch (...) {
         std::lock_guard<std::mutex> lock(err_mu_);
         if (!first_error_) first_error_ = std::current_exception();
@@ -92,7 +92,7 @@ void HaloExchange::finish() {
 
 void HaloExchange::exchange_with(std::size_t slot, int peer,
                                  const double* x_owned, double* halo_x,
-                                 std::uint32_t iter) {
+                                 std::uint32_t iter, std::uint32_t epoch) {
   const int fd = peer_fds_[static_cast<std::size_t>(peer)];
   RankStats& st = thread_stats_[slot];
   const auto& send_idx = shard_.send_cols[static_cast<std::size_t>(peer)];
@@ -107,9 +107,16 @@ void HaloExchange::exchange_with(std::size_t slot, int peer,
       buf[i] = x_owned[send_idx[i]];
     HaloMsg msg;
     msg.from = static_cast<std::uint32_t>(my_rank_);
+    msg.epoch = epoch;
     msg.iter = iter;
     msg.x = buf;
-    const std::string payload = msg.encode();
+    std::string payload = msg.encode();
+    if (corrupt_next_.exchange(false)) {
+      // Injected fault: mangle the declared value count (bytes 12..19 of
+      // the payload) so the peer's bounds check fails the decode typed.
+      for (std::size_t i = 12; i < payload.size() && i < 20; ++i)
+        payload[i] = static_cast<char>(0xff);
+    }
     serve::write_frame(fd, MsgType::kHalo, payload, limits_);
     st.send_seconds += t.elapsed();
     st.bytes_sent += payload.size();
@@ -127,6 +134,12 @@ void HaloExchange::exchange_with(std::size_t slot, int peer,
       throw parse_error(std::string("expected halo frame, got ") +
                         serve::msg_type_name(type));
     HaloMsg msg = HaloMsg::decode(payload);
+    if (msg.epoch != epoch)
+      throw parse_error(
+          "halo frame from " +
+          std::string(msg.epoch < epoch ? "stale pre-recovery" : "future") +
+          " epoch " + std::to_string(msg.epoch) + " (expected " +
+          std::to_string(epoch) + ")");
     if (msg.from != static_cast<std::uint32_t>(peer) || msg.iter != iter)
       throw parse_error("halo frame from wrong peer or iteration (from " +
                         std::to_string(msg.from) + ", iter " +

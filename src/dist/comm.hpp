@@ -16,6 +16,7 @@
 // in-process N-threads-as-N-ranks tests TSan verifies.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <exception>
 #include <mutex>
@@ -39,12 +40,17 @@ class HaloExchange {
   HaloExchange(const HaloExchange&) = delete;
   HaloExchange& operator=(const HaloExchange&) = delete;
 
-  /// Launch the per-peer exchange threads for iteration `iter`: gather
-  /// each peer's send list from `x_owned` (the rank's owned x slice) and
-  /// fill `halo_x` (length shard.halo_count()) segment by segment as
-  /// peer frames arrive. Neither buffer may be touched by the caller
-  /// until finish() returns (x_owned is read-only throughout).
-  void start(const double* x_owned, double* halo_x, std::uint32_t iter);
+  /// Launch the per-peer exchange threads for iteration `iter` of
+  /// recovery epoch `epoch`: gather each peer's send list from `x_owned`
+  /// (the rank's owned x slice) and fill `halo_x` (length
+  /// shard.halo_count()) segment by segment as peer frames arrive.
+  /// Neither buffer may be touched by the caller until finish() returns
+  /// (x_owned is read-only throughout). Every frame is stamped with
+  /// (from, epoch, iter); a received frame whose stamp disagrees — in
+  /// particular a delayed frame from a pre-recovery epoch — is rejected
+  /// with a typed parse_error instead of corrupting the iteration.
+  void start(const double* x_owned, double* halo_x, std::uint32_t iter,
+             std::uint32_t epoch = 0);
 
   /// Join the exchange threads; rethrows the first peer failure (typed:
   /// io_error on a dead peer, parse_error on a corrupt or crossed frame,
@@ -54,9 +60,14 @@ class HaloExchange {
   /// Accumulated over all completed start()/finish() rounds.
   const RankStats& totals() const { return totals_; }
 
+  /// Fault injection (tests / chaos soak): mangle the length field of
+  /// the next outgoing halo frame so the receiving peer fails its decode
+  /// with a typed parse_error. One-shot; call before start().
+  void corrupt_next_send() { corrupt_next_.store(true); }
+
  private:
   void exchange_with(std::size_t slot, int peer, const double* x_owned,
-                     double* halo_x, std::uint32_t iter);
+                     double* halo_x, std::uint32_t iter, std::uint32_t epoch);
 
   const RankShard& shard_;
   int my_rank_;
@@ -70,6 +81,7 @@ class HaloExchange {
   std::exception_ptr first_error_;
   RankStats totals_;
   bool in_flight_ = false;
+  std::atomic<bool> corrupt_next_{false};
 };
 
 }  // namespace bspmv::dist

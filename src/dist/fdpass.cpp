@@ -1,0 +1,114 @@
+#include "src/dist/fdpass.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "src/util/errors.hpp"
+
+namespace bspmv::dist {
+
+void send_fd(int sock, int fd) {
+  char byte = 'F';
+  struct iovec iov;
+  iov.iov_base = &byte;
+  iov.iov_len = 1;
+
+  alignas(struct cmsghdr) char cbuf[CMSG_SPACE(sizeof(int))];
+  std::memset(cbuf, 0, sizeof(cbuf));
+
+  struct msghdr msg;
+  std::memset(&msg, 0, sizeof(msg));
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = cbuf;
+  msg.msg_controllen = sizeof(cbuf);
+
+  struct cmsghdr* cm = CMSG_FIRSTHDR(&msg);
+  cm->cmsg_level = SOL_SOCKET;
+  cm->cmsg_type = SCM_RIGHTS;
+  cm->cmsg_len = CMSG_LEN(sizeof(int));
+  std::memcpy(CMSG_DATA(cm), &fd, sizeof(int));
+
+  for (;;) {
+    const ssize_t n = ::sendmsg(sock, &msg, MSG_NOSIGNAL);
+    if (n == 1) return;
+    if (n < 0 && errno == EINTR) continue;
+    throw io_error(std::string("send_fd failed: ") +
+                   (n < 0 ? std::strerror(errno) : "short write"));
+  }
+}
+
+int recv_fd(int sock, double timeout_seconds) {
+  struct pollfd pfd;
+  pfd.fd = sock;
+  pfd.events = POLLIN;
+  const int timeout_ms =
+      timeout_seconds > 0 ? static_cast<int>(timeout_seconds * 1000.0) : -1;
+  for (;;) {
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr == 0)
+      throw timeout_error("recv_fd timed out waiting for a peer channel");
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      throw io_error(std::string("recv_fd poll failed: ") +
+                     std::strerror(errno));
+    }
+    break;
+  }
+
+  char byte = 0;
+  struct iovec iov;
+  iov.iov_base = &byte;
+  iov.iov_len = 1;
+
+  alignas(struct cmsghdr) char cbuf[CMSG_SPACE(sizeof(int))];
+  std::memset(cbuf, 0, sizeof(cbuf));
+
+  struct msghdr msg;
+  std::memset(&msg, 0, sizeof(msg));
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = cbuf;
+  msg.msg_controllen = sizeof(cbuf);
+
+  for (;;) {
+    const ssize_t n = ::recvmsg(sock, &msg, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0)
+      throw io_error(std::string("recv_fd failed: ") +
+                     (n < 0 ? std::strerror(errno) : "peer closed"));
+    break;
+  }
+
+  for (struct cmsghdr* cm = CMSG_FIRSTHDR(&msg); cm != nullptr;
+       cm = CMSG_NXTHDR(&msg, cm)) {
+    if (cm->cmsg_level == SOL_SOCKET && cm->cmsg_type == SCM_RIGHTS &&
+        cm->cmsg_len == CMSG_LEN(sizeof(int))) {
+      int fd = -1;
+      std::memcpy(&fd, CMSG_DATA(cm), sizeof(int));
+      if (fd >= 0) return fd;
+    }
+  }
+  throw io_error("recv_fd: carrier message arrived without a descriptor");
+}
+
+std::uint64_t drain_socket(int fd) noexcept {
+  std::uint64_t total = 0;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      total += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return total;  // EAGAIN (empty), EOF, or error: nothing more to read
+  }
+}
+
+}  // namespace bspmv::dist

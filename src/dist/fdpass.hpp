@@ -1,0 +1,35 @@
+// File-descriptor passing and socket drainage for mesh recovery.
+//
+// When the supervisor respawns a dead rank it wires fresh socketpairs
+// between the new process and every peer. The new rank inherits its ends
+// across fork; each *surviving* rank receives its replacement end over
+// its existing control socket via SCM_RIGHTS (send_fd/recv_fd), after a
+// kPeerUpdate frame announced which peers are being replaced. Because
+// the ancillary data rides the same ordered stream as the frames, a
+// receiver that has read the kPeerUpdate frame is guaranteed the fds
+// come next.
+//
+// drain_socket flushes whatever a dead peer left buffered in the kernel
+// (stale pre-recovery halo frames) so the next epoch starts on a clean
+// stream. Socketpair data lives in the receiver's kernel buffer, so once
+// both endpoints are quiesced a single nonblocking sweep is complete.
+#pragma once
+
+#include <cstdint>
+
+namespace bspmv::dist {
+
+/// Send one fd over a Unix stream socket (one dummy byte + SCM_RIGHTS).
+/// Throws bspmv::io_error on failure.
+void send_fd(int sock, int fd);
+
+/// Receive one fd sent by send_fd. Blocks up to `timeout_seconds` for
+/// the carrier byte; throws bspmv::timeout_error on timeout, io_error on
+/// socket failure or a carrier message with no fd attached.
+int recv_fd(int sock, double timeout_seconds);
+
+/// Discard everything currently buffered on `fd` without blocking.
+/// Returns the number of bytes thrown away.
+std::uint64_t drain_socket(int fd) noexcept;
+
+}  // namespace bspmv::dist

@@ -87,6 +87,9 @@ std::string RunMsg::encode() const {
   w.u8(mode == DistMode::kOverlap ? 1 : 0);
   w.u8(impl);
   w.u32(iterations);
+  w.u32(epoch);
+  w.u32(first_iteration);
+  w.u32(progress_every);
   w.u64(x.size());
   w.f64_array(x.data(), x.size());
   return w.take();
@@ -100,6 +103,9 @@ RunMsg RunMsg::decode(std::string_view payload) {
   if (m.impl > 1) throw parse_error("dist run impl out of range");
   m.iterations = r.u32();
   if (m.iterations == 0) throw parse_error("dist run asks for 0 iterations");
+  m.epoch = r.u32();
+  m.first_iteration = r.u32();
+  m.progress_every = r.u32();
   const std::uint64_t n = r.u64();
   bound_count(n, 8, payload, "x values");
   m.x = r.f64_array(static_cast<std::size_t>(n));
@@ -153,6 +159,7 @@ DoneMsg DoneMsg::decode(std::string_view payload) {
 std::string HaloMsg::encode() const {
   WireWriter w;
   w.u32(from);
+  w.u32(epoch);
   w.u32(iter);
   w.u64(x.size());
   w.f64_array(x.data(), x.size());
@@ -163,10 +170,88 @@ HaloMsg HaloMsg::decode(std::string_view payload) {
   WireReader r(payload);
   HaloMsg m;
   m.from = r.u32();
+  m.epoch = r.u32();
   m.iter = r.u32();
   const std::uint64_t n = r.u64();
   bound_count(n, 8, payload, "halo values");
   m.x = r.f64_array(static_cast<std::size_t>(n));
+  r.expect_end();
+  return m;
+}
+
+// -------------------------------------------------------------- FaultMsg ----
+
+std::string FaultMsg::encode() const {
+  WireWriter w;
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(at_iteration);
+  w.f64(seconds);
+  return w.take();
+}
+
+FaultMsg FaultMsg::decode(std::string_view payload) {
+  WireReader r(payload);
+  FaultMsg m;
+  const std::uint8_t k = r.u8();
+  if (k > static_cast<std::uint8_t>(FaultKind::kCorruptHaloSend))
+    throw parse_error("dist fault kind out of range");
+  m.kind = static_cast<FaultKind>(k);
+  m.at_iteration = r.u32();
+  m.seconds = r.f64();
+  r.expect_end();
+  return m;
+}
+
+// ----------------------------------------------------------- ProgressMsg ----
+
+std::string ProgressMsg::encode() const {
+  WireWriter w;
+  w.u32(epoch);
+  w.u32(done);
+  return w.take();
+}
+
+ProgressMsg ProgressMsg::decode(std::string_view payload) {
+  WireReader r(payload);
+  ProgressMsg m;
+  m.epoch = r.u32();
+  m.done = r.u32();
+  r.expect_end();
+  return m;
+}
+
+// --------------------------------------------------------- PeerUpdateMsg ----
+
+std::string PeerUpdateMsg::encode() const {
+  WireWriter w;
+  w.u32(static_cast<std::uint32_t>(peers.size()));
+  for (std::uint32_t p : peers) w.u32(p);
+  return w.take();
+}
+
+PeerUpdateMsg PeerUpdateMsg::decode(std::string_view payload) {
+  WireReader r(payload);
+  PeerUpdateMsg m;
+  const std::uint32_t n = r.u32();
+  bound_count(n, 4, payload, "peer ids");
+  m.peers.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) m.peers.push_back(r.u32());
+  r.expect_end();
+  return m;
+}
+
+// ------------------------------------------------------------ DrainReply ----
+
+std::string DrainReply::encode() const {
+  WireWriter w;
+  w.u64(bytes);
+  return w.take();
+}
+
+DrainReply DrainReply::decode(std::string_view payload) {
+  WireReader r(payload);
+  DrainReply m;
+  m.bytes = r.u64();
   r.expect_end();
   return m;
 }

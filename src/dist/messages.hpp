@@ -48,11 +48,23 @@ struct ShardMsg {
   static ShardMsg decode(std::string_view payload);
 };
 
-/// kDistRun: one multi-iteration y = A·x request.
+/// kDistRun: one multi-iteration y = A·x request. `epoch` is the
+/// supervisor's recovery generation: it is bumped on every round and on
+/// every recovery, stamped onto every halo frame of the round, and any
+/// frame carrying a different epoch is rejected as a parse_error — a
+/// delayed frame from before a recovery can never corrupt an iteration.
 struct RunMsg {
   DistMode mode = DistMode::kOverlap;
   std::uint8_t impl = 0;  ///< 0 scalar, 1 simd
   std::uint32_t iterations = 1;
+  std::uint32_t epoch = 0;
+  /// Global index of this request's first iteration: the supervisor runs
+  /// in rounds, and armed faults (FaultMsg::at_iteration) address global
+  /// progress, not the round-local count.
+  std::uint32_t first_iteration = 0;
+  /// Emit a kProgress heartbeat to the driver every this-many iterations
+  /// (0 = none) so short wire timeouts coexist with long rounds.
+  std::uint32_t progress_every = 0;
   std::vector<double> x;  ///< the rank's owned x slice
 
   std::string encode() const;
@@ -88,16 +100,66 @@ struct DoneMsg {
   static DoneMsg decode(std::string_view payload);
 };
 
-/// kHalo: one iteration's halo x values from one peer. The (from, iter)
-/// header catches crossed wires (a frame from the wrong peer or a stale
-/// iteration is a typed parse_error, not silent corruption).
+/// kHalo: one iteration's halo x values from one peer. The (from, epoch,
+/// iter) header catches crossed wires: a frame from the wrong peer, a
+/// stale iteration, or a pre-recovery epoch is a typed parse_error, not
+/// silent corruption.
 struct HaloMsg {
   std::uint32_t from = 0;
+  std::uint32_t epoch = 0;
   std::uint32_t iter = 0;
   std::vector<double> x;
 
   std::string encode() const;
   static HaloMsg decode(std::string_view payload);
+};
+
+/// kFault: arm one test fault inside a rank (the driver-side injection
+/// hook DistSpmv::inject_fault ships; tests and the chaos soak only).
+/// `at_iteration` is the 0-based iteration index *within the next
+/// kDistRun round* at which the fault fires.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kExitAtIteration = 1,   ///< _exit before the exchange (kill mid-iteration)
+  kExitInExchange = 2,    ///< _exit after posting the halo exchange
+  kStallAtIteration = 3,  ///< sleep `seconds` before the exchange
+  kCorruptHaloSend = 4,   ///< corrupt the next outgoing halo frame
+};
+
+struct FaultMsg {
+  FaultKind kind = FaultKind::kNone;
+  std::uint32_t at_iteration = 0;
+  double seconds = 0.0;  ///< stall duration for kStallAtIteration
+
+  std::string encode() const;
+  static FaultMsg decode(std::string_view payload);
+};
+
+/// kProgress: mid-run heartbeat, rank -> driver.
+struct ProgressMsg {
+  std::uint32_t epoch = 0;
+  std::uint32_t done = 0;  ///< iterations completed this round
+
+  std::string encode() const;
+  static ProgressMsg decode(std::string_view payload);
+};
+
+/// kPeerUpdate: the listed peers' data channels are being replaced; one
+/// replacement fd per listed peer follows on the control socket via
+/// SCM_RIGHTS (src/dist/fdpass.*), in list order.
+struct PeerUpdateMsg {
+  std::vector<std::uint32_t> peers;
+
+  std::string encode() const;
+  static PeerUpdateMsg decode(std::string_view payload);
+};
+
+/// kDrainOk: how much stale pre-recovery data a rank discarded.
+struct DrainReply {
+  std::uint64_t bytes = 0;
+
+  std::string encode() const;
+  static DrainReply decode(std::string_view payload);
 };
 
 }  // namespace bspmv::dist

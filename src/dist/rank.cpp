@@ -1,11 +1,14 @@
 #include "src/dist/rank.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <memory>
 #include <string>
 #include <utility>
 
 #include "src/dist/comm.hpp"
+#include "src/dist/fdpass.hpp"
 #include "src/dist/halo_format.hpp"
 #include "src/dist/messages.hpp"
 #include "src/dist/shard_plan.hpp"
@@ -30,6 +33,7 @@ struct RankState {
   HaloDec<double> mat;
   std::shared_ptr<TaskPool> pool;
   std::unique_ptr<TaskGraphSpmv<Csr<double>>> local_graph;
+  FaultMsg fault;  ///< armed test fault (kFault); one-shot
 };
 
 /// Fills `st` in place: the TaskGraphSpmv keeps a pointer to the local
@@ -105,10 +109,34 @@ DoneMsg handle_run(const RankContext& ctx, RankState& st,
 
   Timer total;
   for (std::uint32_t iter = 0; iter < run.iterations; ++iter) {
+    // Armed test faults fire at their *global* iteration (chaos soak +
+    // recovery tests): kills simulate a crashed rank — mid-iteration or
+    // with an exchange posted so peers are left mid-protocol — stalls a
+    // wedged one, and the corrupt kind mangles one outgoing halo frame.
+    if (st.fault.kind != FaultKind::kNone &&
+        st.fault.at_iteration == run.first_iteration + iter) {
+      switch (st.fault.kind) {
+        case FaultKind::kNone:
+          break;
+        case FaultKind::kExitAtIteration:
+          _exit(9);
+        case FaultKind::kStallAtIteration:
+          ::usleep(static_cast<useconds_t>(st.fault.seconds * 1e6));
+          st.fault = FaultMsg{};
+          break;
+        case FaultKind::kCorruptHaloSend:
+          ex.corrupt_next_send();
+          st.fault = FaultMsg{};
+          break;
+        case FaultKind::kExitInExchange:
+          ex.start(x.data(), halo_x, iter, run.epoch);
+          _exit(9);
+      }
+    }
     if (run.mode == DistMode::kOverlap) {
       // Post the exchange, compute the local columns while bytes fly,
       // then block only for whatever the compute did not hide.
-      ex.start(x.data(), halo_x, iter);
+      ex.start(x.data(), halo_x, iter, run.epoch);
       Timer tl;
       local_pass();
       s.local_seconds += tl.elapsed();
@@ -117,7 +145,7 @@ DoneMsg handle_run(const RankContext& ctx, RankState& st,
       s.wait_seconds += tw.elapsed();
     } else {
       // Naive: the full exchange is on the critical path.
-      ex.start(x.data(), halo_x, iter);
+      ex.start(x.data(), halo_x, iter, run.epoch);
       Timer tw;
       ex.finish();
       s.wait_seconds += tw.elapsed();
@@ -128,6 +156,17 @@ DoneMsg handle_run(const RankContext& ctx, RankState& st,
     Timer th;
     FormatOps<Csr<double>>::spmv_add(st.mat.halo(), halo_x, y.data(), impl);
     s.halo_seconds += th.elapsed();
+
+    // Heartbeat: piggyback liveness on the control channel so the driver
+    // can keep short wire timeouts across long rounds.
+    if (run.progress_every > 0 && iter + 1 < run.iterations &&
+        (iter + 1) % run.progress_every == 0) {
+      ProgressMsg p;
+      p.epoch = run.epoch;
+      p.done = iter + 1;
+      serve::write_frame(ctx.ctrl_fd, MsgType::kProgress, p.encode(),
+                         ctx.limits);
+    }
   }
   s.total_seconds = total.elapsed();
   s.send_seconds = ex.totals().send_seconds;
@@ -141,15 +180,34 @@ DoneMsg handle_run(const RankContext& ctx, RankState& st,
   return done;
 }
 
+/// Report a failure to the driver without leaving the command loop.
+void report_error(const RankContext& ctx, serve::ErrorCode code,
+                  const char* what) {
+  serve::ErrorReply rep;
+  rep.code = code;
+  rep.message = what;
+  serve::write_frame(ctx.ctrl_fd, MsgType::kError, rep.encode(), ctx.limits);
+}
+
 }  // namespace
 
-int rank_main(const RankContext& ctx) noexcept {
+int rank_main(RankContext ctx) noexcept {
   try {
     MsgType type{};
     std::string payload;
 
-    // The shard always comes first.
-    if (!serve::read_frame(ctx.ctrl_fd, type, payload, ctx.limits))
+    // Waiting for the next command is not bounded by the wire timeout:
+    // the driver owns this process's lifetime, its death surfaces as EOF
+    // here, and while the supervisor spends the collect grace on a
+    // stalled peer (or backs off before a retry) the healthy ranks sit
+    // exactly in this read. The short timeout still bounds every
+    // mid-protocol read: halo frames, fd passing, replies.
+    serve::WireLimits idle = ctx.limits;
+    idle.read_timeout_seconds = 86400.0;
+
+    // The shard always comes first (shipping is sequential across ranks,
+    // so later ranks may wait on earlier, larger shards — be patient).
+    if (!serve::read_frame(ctx.ctrl_fd, type, payload, idle))
       return 0;  // driver went away before shipping a shard
     if (type != MsgType::kShard)
       throw invalid_argument_error(
@@ -159,14 +217,55 @@ int rank_main(const RankContext& ctx) noexcept {
     prepare(ShardMsg::decode(payload), st);
     serve::write_frame(ctx.ctrl_fd, MsgType::kShardOk, "", ctx.limits);
 
-    while (serve::read_frame(ctx.ctrl_fd, type, payload, ctx.limits)) {
+    while (serve::read_frame(ctx.ctrl_fd, type, payload, idle)) {
       switch (type) {
         case MsgType::kDistRun: {
-          const DoneMsg done = handle_run(ctx, st, RunMsg::decode(payload));
-          serve::write_frame(ctx.ctrl_fd, MsgType::kDistDone, done.encode(),
+          // A run failure (dead/stalled peer, corrupt halo frame) is
+          // reported but NOT fatal: the shard state is still valid, and
+          // the supervisor retries the round once the mesh is healed.
+          try {
+            const DoneMsg done = handle_run(ctx, st, RunMsg::decode(payload));
+            serve::write_frame(ctx.ctrl_fd, MsgType::kDistDone, done.encode(),
+                               ctx.limits);
+          } catch (const error& e) {
+            report_error(ctx, serve::error_code_for(e), e.what());
+          } catch (const std::exception& e) {
+            report_error(ctx, serve::ErrorCode::kError, e.what());
+          }
+          break;
+        }
+        case MsgType::kDrain: {
+          // Flush stale pre-recovery frames a dead peer left buffered.
+          DrainReply rep;
+          for (int fd : ctx.peer_fds)
+            if (fd >= 0) rep.bytes += drain_socket(fd);
+          serve::write_frame(ctx.ctrl_fd, MsgType::kDrainOk, rep.encode(),
                              ctx.limits);
           break;
         }
+        case MsgType::kPeerUpdate: {
+          // Replacement channels to respawned peers; the fds follow the
+          // frame on this same (ordered) control stream.
+          const PeerUpdateMsg upd = PeerUpdateMsg::decode(payload);
+          for (std::uint32_t p : upd.peers) {
+            const int fd = recv_fd(ctx.ctrl_fd, ctx.limits.read_timeout_seconds);
+            if (p >= ctx.peer_fds.size() ||
+                p == static_cast<std::uint32_t>(ctx.rank)) {
+              ::close(fd);
+              throw invalid_argument_error(
+                  "peer update names rank " + std::to_string(p) +
+                  " which this rank has no slot for");
+            }
+            if (ctx.peer_fds[p] >= 0) ::close(ctx.peer_fds[p]);
+            ctx.peer_fds[p] = fd;
+          }
+          serve::write_frame(ctx.ctrl_fd, MsgType::kPeerOk, "", ctx.limits);
+          break;
+        }
+        case MsgType::kFault:
+          st.fault = FaultMsg::decode(payload);
+          serve::write_frame(ctx.ctrl_fd, MsgType::kFaultOk, "", ctx.limits);
+          break;
         case MsgType::kShutdown:
           serve::write_frame(ctx.ctrl_fd, MsgType::kShutdownOk, "",
                              ctx.limits);

@@ -27,10 +27,15 @@ struct RankContext {
   serve::WireLimits limits;
 };
 
-/// Serve the rank protocol until shutdown or error. Returns the child's
-/// exit code: 0 on clean shutdown (kShutdown or driver EOF), 1 after an
-/// error (which is first reported to the driver as a kError frame,
-/// best effort).
-int rank_main(const RankContext& ctx) noexcept;
+/// Serve the rank protocol until shutdown or error. Takes the context by
+/// value: a kPeerUpdate frame (mesh recovery after a peer died) swaps
+/// entries of peer_fds in place. Returns the child's exit code: 0 on
+/// clean shutdown (kShutdown or driver EOF), 1 after a fatal protocol
+/// error (which is first reported to the driver as a kError frame, best
+/// effort). A *run* failure — a dead or stalled peer mid-exchange, a
+/// corrupt halo frame — is reported the same way but keeps the rank
+/// alive and serving: its shard state is intact, and the supervisor will
+/// retry the round after healing the mesh.
+int rank_main(RankContext ctx) noexcept;
 
 }  // namespace bspmv::dist

@@ -53,6 +53,8 @@ void build_dist_section(const Csr<double>& a, const MachineProfile& profile,
   dist::DistOptions dopt;
   dopt.ranks = opt.dist_ranks;
   dopt.threads_per_rank = opt.dist_threads_per_rank;
+  dopt.timeout_seconds = opt.dist_timeout_seconds;
+  dopt.supervise.enabled = opt.dist_supervise;
   dist::DistSpmv d(a, dopt);
   const std::vector<DistRankCost> costs = d.rank_costs();
 
@@ -63,22 +65,63 @@ void build_dist_section(const Csr<double>& a, const MachineProfile& profile,
   out.comm_alpha_seconds = p.comm_alpha_seconds;
   out.comm_beta_bps = p.comm_beta_bps;
   out.predicted_mode = dist_mode_name(choose_dist_mode(p, costs));
+  out.supervised = opt.dist_supervise;
 
   aligned_vector<double> x(static_cast<std::size_t>(a.cols()));
   Xoshiro256 rng(12345);
   for (auto& e : x) e = rng.uniform() - 0.5;
   aligned_vector<double> y(static_cast<std::size_t>(a.rows()), 0.0);
 
+  // Chaos drill: arm faults (alternating kills and stalls across the
+  // non-zero ranks) so the first timed run exercises the recovery path;
+  // the events it produces are the section's recovery timeline.
+  if (opt.dist_supervise && opt.dist_chaos > 0 && opt.dist_ranks > 1) {
+    for (int k = 0; k < opt.dist_chaos; ++k) {
+      dist::FaultMsg f;
+      f.kind = k % 2 == 0 ? dist::FaultKind::kExitAtIteration
+                          : dist::FaultKind::kStallAtIteration;
+      f.at_iteration = static_cast<std::uint32_t>(
+          std::min(k + 1, out.iterations - 1));
+      f.seconds = 2.0 * opt.dist_timeout_seconds;
+      d.inject_fault(1 + k % (opt.dist_ranks - 1), f);
+    }
+  }
+
+  auto merge_recovery = [&out](const dist::DistSpmv& drv) {
+    static const char* const order[] = {"clean", "recovered", "resharded",
+                                        "single_node"};
+    for (const dist::RecoveryEvent& e : drv.recovery_log()) {
+      DistRecoveryEventReport r;
+      r.epoch = e.epoch;
+      r.completed_iterations = e.completed_iterations;
+      r.cause = e.cause;
+      r.failed_ranks = e.failed_ranks;
+      r.action = e.action;
+      r.seconds = e.seconds;
+      r.backoff_ms = e.backoff_ms;
+      r.ranks_after = e.ranks_after;
+      r.detail = e.detail;
+      out.recovery.push_back(std::move(r));
+    }
+    const std::string got = dist::dist_outcome_name(drv.outcome());
+    for (int i = 0; i < 4; ++i)
+      if (out.outcome == order[i])
+        for (int k = i + 1; k < 4; ++k)
+          if (got == order[k]) out.outcome = got;
+  };
+
   for (DistMode m : {DistMode::kNaive, DistMode::kOverlap}) {
     d.set_mode(m);
-    d.run(x.data(), y.data(), 1);  // warm-up: page-in, socket buffers
+    if (!opt.dist_supervise || opt.dist_chaos == 0)
+      d.run(x.data(), y.data(), 1);  // warm-up: page-in, socket buffers
     Timer t;
     d.run(x.data(), y.data(), out.iterations);
+    merge_recovery(d);
     DistModeReport mr;
     mr.mode = dist_mode_name(m);
     mr.predicted_seconds = predict_distributed(p, costs, m);
     mr.measured_seconds = t.elapsed() / out.iterations;
-    for (int r = 0; r < opt.dist_ranks; ++r) {
+    for (int r = 0; r < d.ranks(); ++r) {
       const dist::RankShard& sh = d.plan().shards[static_cast<std::size_t>(r)];
       const dist::RankStats& st = d.last_stats()[static_cast<std::size_t>(r)];
       DistRankSample s;
@@ -112,6 +155,7 @@ void build_dist_section(const Csr<double>& a, const MachineProfile& profile,
     out.measured_mode = dist_mode_name(DistMode::kNaive);
   out.model_match =
       out.measured_mode == "tie" || out.predicted_mode == out.measured_mode;
+  out.ranks_final = d.ranks();
 }
 
 }  // namespace
@@ -246,6 +290,26 @@ Json RunReport::to_json() const {
     modes_arr.push_back(std::move(jm));
   }
   dist_o["modes"] = std::move(modes_arr);
+  dist_o["supervised"] = dist.supervised;
+  dist_o["outcome"] = dist.outcome;
+  dist_o["ranks_final"] = dist.ranks_final;
+  Json::Array rec_arr;
+  for (const DistRecoveryEventReport& e : dist.recovery) {
+    Json::Object je;
+    je["epoch"] = static_cast<std::uint64_t>(e.epoch);
+    je["completed_iterations"] = e.completed_iterations;
+    je["cause"] = e.cause;
+    Json::Array fr;
+    for (int r : e.failed_ranks) fr.push_back(Json(r));
+    je["failed_ranks"] = std::move(fr);
+    je["action"] = e.action;
+    je["seconds"] = e.seconds;
+    je["backoff_ms"] = e.backoff_ms;
+    je["ranks_after"] = e.ranks_after;
+    je["detail"] = e.detail;
+    rec_arr.push_back(std::move(je));
+  }
+  dist_o["recovery"] = std::move(rec_arr);
   o["dist"] = std::move(dist_o);
 
   return Json(std::move(o));
@@ -362,6 +426,24 @@ RunReport RunReport::from_json(const Json& j) {
     }
     r.dist.modes.push_back(std::move(m));
   }
+  r.dist.supervised = dist_j.at("supervised").as_bool();
+  r.dist.outcome = dist_j.at("outcome").as_string();
+  r.dist.ranks_final = static_cast<int>(dist_j.at("ranks_final").as_number());
+  for (const Json& je : dist_j.at("recovery").as_array()) {
+    DistRecoveryEventReport e;
+    e.epoch = static_cast<std::uint32_t>(je.at("epoch").as_number());
+    e.completed_iterations =
+        static_cast<int>(je.at("completed_iterations").as_number());
+    e.cause = je.at("cause").as_string();
+    for (const Json& fr : je.at("failed_ranks").as_array())
+      e.failed_ranks.push_back(static_cast<int>(fr.as_number()));
+    e.action = je.at("action").as_string();
+    e.seconds = je.at("seconds").as_number();
+    e.backoff_ms = je.at("backoff_ms").as_number();
+    e.ranks_after = static_cast<int>(je.at("ranks_after").as_number());
+    e.detail = je.at("detail").as_string();
+    r.dist.recovery.push_back(std::move(e));
+  }
 
   return r;
 }
@@ -445,10 +527,15 @@ void validate_report_json(const Json& j) {
     fail("hooks were live but threads.samples is empty");
 
   const Json& dist_j = j.at("dist");
-  for (const char* key : {"enabled", "ranks", "modes", "predicted_mode",
-                          "measured_mode", "model_match"})
+  for (const char* key :
+       {"enabled", "ranks", "modes", "predicted_mode", "measured_mode",
+        "model_match", "supervised", "outcome", "ranks_final", "recovery"})
     if (!dist_j.contains(key))
       fail(std::string("dist section missing: ") + key);
+  for (const Json& je : dist_j.at("recovery").as_array())
+    for (const char* key : {"epoch", "cause", "action", "failed_ranks"})
+      if (!je.contains(key))
+        fail(std::string("dist recovery event missing: ") + key);
   if (dist_j.at("enabled").as_bool()) {
     if (static_cast<int>(dist_j.at("ranks").as_number()) < 1)
       fail("dist.ranks must be >= 1 when enabled");

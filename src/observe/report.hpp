@@ -94,9 +94,26 @@ struct DistModeReport {
   std::vector<DistRankSample> rank_samples;
 };
 
+/// One supervisor intervention from a supervised distributed run — the
+/// JSON mirror of dist::RecoveryEvent (docs/distribution.md "Failure
+/// modes and recovery").
+struct DistRecoveryEventReport {
+  std::uint32_t epoch = 0;
+  int completed_iterations = 0;
+  std::string cause;   ///< "rank_dead" / "rank_stalled" / "rank_error"
+  std::vector<int> failed_ranks;
+  std::string action;  ///< "respawn" / "retry" / "reshard" / "single_node"
+  double seconds = 0.0;
+  double backoff_ms = 0.0;
+  int ranks_after = 0;
+  std::string detail;
+};
+
 /// The distributed section: both modes measured over the same shard
 /// plan, the t_comm-based model's choice, and whether it matched the
-/// measured winner (the distributed analogue of Table IV).
+/// measured winner (the distributed analogue of Table IV). When the run
+/// was supervised the section also carries the recovery outcome and the
+/// per-event timeline — degradation is never silent.
 struct DistReport {
   bool enabled = false;
   int ranks = 0;
@@ -108,13 +125,20 @@ struct DistReport {
   std::string measured_mode;   ///< faster measured mode
   bool model_match = false;
   std::vector<DistModeReport> modes;
+  bool supervised = false;
+  /// Worst dist_outcome_name over the measured runs: "clean" /
+  /// "recovered" / "resharded" / "single_node".
+  std::string outcome = "clean";
+  int ranks_final = 0;  ///< mesh width at the end (shrinks on reshard)
+  std::vector<DistRecoveryEventReport> recovery;
 };
 
 struct RunReport {
   /// Bump on any change to the JSON layout; validate_report_json and
   /// from_json reject mismatches (same policy as MachineProfile).
-  /// v2 added the distributed section ("dist").
-  static constexpr int kSchemaVersion = 2;
+  /// v2 added the distributed section ("dist"); v3 its supervision
+  /// fields (supervised/outcome/ranks_final/recovery).
+  static constexpr int kSchemaVersion = 3;
   static constexpr const char* kKind = "bspmv_run_report";
 
   // Matrix identity and structure.
@@ -182,6 +206,16 @@ struct ReportOptions {
   int dist_ranks = 0;
   int dist_iterations = 10;       ///< per measured mode
   int dist_threads_per_rank = 1;  ///< local-pass TaskPool workers
+  /// Run the distributed section under rank supervision (recovery +
+  /// degradation ladder); outcome and recovery timeline land in the
+  /// report's dist section.
+  bool dist_supervise = false;
+  /// Chaos drill (requires dist_supervise): inject this many faults —
+  /// alternating rank kills and stalls — before the first timed run.
+  /// The soak harness drives this; the report records the recoveries.
+  int dist_chaos = 0;
+  /// Wire read timeout for the distributed section's channels.
+  double dist_timeout_seconds = 30.0;
 };
 
 /// Build the full report for one matrix: predict every model candidate

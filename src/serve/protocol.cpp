@@ -48,6 +48,13 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kDistRun: return "dist_run";
     case MsgType::kDistDone: return "dist_done";
     case MsgType::kHalo: return "halo";
+    case MsgType::kDrain: return "drain";
+    case MsgType::kDrainOk: return "drain_ok";
+    case MsgType::kPeerUpdate: return "peer_update";
+    case MsgType::kPeerOk: return "peer_ok";
+    case MsgType::kFault: return "fault";
+    case MsgType::kFaultOk: return "fault_ok";
+    case MsgType::kProgress: return "progress";
   }
   return "?";
 }
@@ -444,7 +451,7 @@ bool read_frame(int fd, MsgType& type, std::string& payload,
     throw parse_error(os.str());
   }
   if (raw_type < static_cast<std::uint32_t>(MsgType::kPing) ||
-      raw_type > static_cast<std::uint32_t>(MsgType::kHalo)) {
+      raw_type > static_cast<std::uint32_t>(MsgType::kProgress)) {
     std::ostringstream os;
     os << "unknown frame type " << raw_type;
     throw parse_error(os.str());

@@ -67,6 +67,16 @@ enum class MsgType : std::uint32_t {
   kDistRun = 14,   ///< driver -> rank: mode/impl/iterations + x slice
   kDistDone = 15,  ///< rank -> driver: y slice + per-phase timings
   kHalo = 16,      ///< rank -> rank: one iteration's halo x values
+  // Supervision / recovery extension (PR 10): frames the rank supervisor
+  // uses to heal the mesh after a rank death without restarting the run.
+  kDrain = 17,       ///< driver -> rank: discard buffered peer frames
+  kDrainOk = 18,     ///< rank -> driver: stale bytes discarded
+  kPeerUpdate = 19,  ///< driver -> rank: replacement peer channels follow
+                     ///< (fds ride SCM_RIGHTS on the control socket)
+  kPeerOk = 20,      ///< rank -> driver: channels installed
+  kFault = 21,       ///< driver -> rank: arm a test fault (kill/stall/...)
+  kFaultOk = 22,     ///< rank -> driver: fault armed
+  kProgress = 23,    ///< rank -> driver: heartbeat mid-run (epoch, iter)
 };
 
 const char* msg_type_name(MsgType t);

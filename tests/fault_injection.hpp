@@ -151,6 +151,28 @@ inline std::vector<std::string> frame_corruptions(const std::string& frame) {
   return out;
 }
 
+/// Deterministic corruptions of an opaque binary payload (a dist wire
+/// message or checkpoint body, not a framed stream): truncations at
+/// several depths, xor and saturate damage at spread positions, and
+/// trailing garbage. Decoders fed these must fail typed, never crash.
+inline std::vector<std::string> binary_corruptions(const std::string& base) {
+  std::vector<std::string> out;
+  for (int pct : {0, 10, 25, 50, 75, 90, 99})
+    out.push_back(base.substr(0, base.size() * static_cast<std::size_t>(pct) / 100));
+  for (std::size_t pos :
+       {std::size_t{0}, base.size() / 4, base.size() / 2, base.size() - 1}) {
+    if (pos >= base.size()) continue;
+    std::string s = base;
+    s[pos] = static_cast<char>(s[pos] ^ 0xff);
+    out.push_back(std::move(s));
+    s = base;
+    s[pos] = '\xff';
+    out.push_back(std::move(s));
+  }
+  out.push_back(base + std::string(16, '\x7f'));
+  return out;
+}
+
 /// In-memory CSR corruptions. The only mutable handle a valid Csr
 /// exposes is mutable_col_ind(), which is exactly the array the paper's
 /// kernels chase — corrupt it in ways validate() must catch.

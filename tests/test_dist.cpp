@@ -314,23 +314,7 @@ TEST(DistSpmvFault, KilledRankSurfacesTypedError) {
 // ---------------------------------------------------------------------
 // Wire decoder fuzzing.
 
-std::vector<std::string> binary_corruptions(const std::string& base) {
-  std::vector<std::string> out;
-  for (int pct : {0, 10, 25, 50, 75, 90, 99})
-    out.push_back(base.substr(0, base.size() * static_cast<std::size_t>(pct) / 100));
-  for (std::size_t pos :
-       {std::size_t{0}, base.size() / 4, base.size() / 2, base.size() - 1}) {
-    if (pos >= base.size()) continue;
-    std::string s = base;
-    s[pos] = static_cast<char>(s[pos] ^ 0xff);
-    out.push_back(std::move(s));
-    s = base;
-    s[pos] = '\xff';
-    out.push_back(std::move(s));
-  }
-  out.push_back(base + std::string(16, '\x7f'));
-  return out;
-}
+using testing::binary_corruptions;
 
 TEST(DistMessages, CorruptedPayloadsFailTyped) {
   const Csr<double> a = test_matrix(20, 20, 0.2, 77);
@@ -384,21 +368,38 @@ TEST(DistMessages, RoundTrip) {
   run.mode = DistMode::kNaive;
   run.impl = 1;
   run.iterations = 7;
+  run.epoch = 4;
+  run.first_iteration = 12;
+  run.progress_every = 5;
   run.x = {0.5, -1.25, 3.0};
   const dist::RunMsg back = dist::RunMsg::decode(run.encode());
   EXPECT_EQ(back.mode, DistMode::kNaive);
   EXPECT_EQ(back.impl, 1);
   EXPECT_EQ(back.iterations, 7u);
+  EXPECT_EQ(back.epoch, 4u);
+  EXPECT_EQ(back.first_iteration, 12u);
+  EXPECT_EQ(back.progress_every, 5u);
   EXPECT_EQ(back.x, run.x);
 
   dist::HaloMsg h;
   h.from = 3;
+  h.epoch = 2;
   h.iter = 9;
   h.x = {4.0, 5.0};
   const dist::HaloMsg hb = dist::HaloMsg::decode(h.encode());
   EXPECT_EQ(hb.from, 3u);
+  EXPECT_EQ(hb.epoch, 2u);
   EXPECT_EQ(hb.iter, 9u);
   EXPECT_EQ(hb.x, h.x);
+
+  dist::FaultMsg f;
+  f.kind = dist::FaultKind::kStallAtIteration;
+  f.at_iteration = 6;
+  f.seconds = 1.5;
+  const dist::FaultMsg fb = dist::FaultMsg::decode(f.encode());
+  EXPECT_EQ(fb.kind, dist::FaultKind::kStallAtIteration);
+  EXPECT_EQ(fb.at_iteration, 6u);
+  EXPECT_DOUBLE_EQ(fb.seconds, 1.5);
 }
 
 // ---------------------------------------------------------------------
